@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the numerical kernels: the Sgemv/Sgemm
+//! bodies, the row-masked variants, and the cell step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lstm::cell::CellWeights;
+use std::hint::black_box;
+use tensor::gemm::{sgemm, sgemv, sgemv_masked};
+use tensor::init::{gaussian_matrix, seeded_rng};
+use tensor::{Matrix, Vector};
+
+fn bench_sgemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgemv");
+    group.sample_size(20);
+    for hidden in [256usize, 512] {
+        let mut rng = seeded_rng(1);
+        let a = gaussian_matrix(&mut rng, 4 * hidden, hidden, 0.05);
+        let x = Vector::from_fn(hidden, |i| (i as f32).sin());
+        group.bench_with_input(BenchmarkId::new("dense", hidden), &hidden, |b, _| {
+            b.iter(|| sgemv(black_box(&a), black_box(&x)))
+        });
+        let mask: Vec<bool> = (0..4 * hidden).map(|i| i % 2 == 0).collect();
+        group.bench_with_input(BenchmarkId::new("masked-50pct", hidden), &hidden, |b, _| {
+            b.iter(|| sgemv_masked(black_box(&a), black_box(&x), black_box(&mask), 0.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tissue_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tissue_sgemm");
+    group.sample_size(15);
+    let hidden = 256usize;
+    let mut rng = seeded_rng(2);
+    let u = gaussian_matrix(&mut rng, 4 * hidden, hidden, 0.05);
+    for tissue in [1usize, 3, 5] {
+        let cols: Vec<Vector> =
+            (0..tissue).map(|k| Vector::from_fn(hidden, |i| ((i + k) as f32).cos())).collect();
+        let refs: Vec<&Vector> = cols.iter().collect();
+        let h = Matrix::from_columns(&refs);
+        group.bench_with_input(BenchmarkId::from_parameter(tissue), &tissue, |b, _| {
+            b.iter(|| sgemm(black_box(&u), black_box(&h)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cell_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_step");
+    group.sample_size(20);
+    let mut rng = seeded_rng(3);
+    let cell = CellWeights::random(256, 256, &mut rng);
+    let x = Vector::from_fn(256, |i| (i as f32 * 0.1).sin());
+    let h = Vector::from_fn(256, |i| (i as f32 * 0.2).cos() * 0.5);
+    let cst = Vector::from_fn(256, |i| (i as f32 * 0.3).sin());
+    let wx = cell.precompute_wx(&x);
+    group.bench_function("exact", |b| {
+        b.iter(|| cell.step(black_box(&wx), black_box(&h), black_box(&cst)))
+    });
+    let o = cell.output_gate(&wx.o, &h);
+    let mask = memlstm::drs::trivial_row_mask(&o, 0.06);
+    group.bench_function("masked", |b| {
+        b.iter(|| {
+            cell.step_masked(black_box(&wx), black_box(&h), black_box(&cst), black_box(&o), &mask)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgemv, bench_tissue_gemm, bench_cell_step);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! The reproduction driver: regenerates every table and figure.
+//!
+//! ```text
+//! cargo run -p mf-bench --release --bin repro -- <experiment> [--fast]
+//! cargo run -p mf-bench --release --bin repro -- all
+//! ```
+//!
+//! Experiments: `table1 table2 fig4 fig6 fig9 fig14 fig15 fig16 fig17
+//! fig18 fig19 reload overheads all`. `--fast` restricts to the two
+//! cheapest benchmarks with tiny budgets (smoke run).
+
+use bench_harness::{
+    ablations, figures_memory, figures_perf, figures_tradeoff, figures_user, tables, Session,
+};
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let what = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    let mut session = Session::new(fast);
+
+    let experiments: Vec<(&str, fn(&mut Session) -> String)> = vec![
+        ("table1", |_s| tables::table1()),
+        ("table2", |_s| tables::table2()),
+        ("fig4", figures_memory::fig4),
+        ("fig6", figures_memory::fig6),
+        ("fig9", figures_memory::fig9),
+        ("reload", figures_memory::reload),
+        ("fig14", figures_perf::fig14),
+        ("fig15", figures_perf::fig15),
+        ("fig16", figures_perf::fig16),
+        ("fig17", figures_tradeoff::fig17),
+        ("fig19", figures_tradeoff::fig19),
+        ("fig18", figures_user::fig18),
+        ("overheads", tables::overheads),
+        ("ablations", ablations::ablations),
+        ("gru", ablations::gru_demo),
+        ("gpu-scaling", ablations::gpu_scaling),
+        ("compression-acc", ablations::compression_accuracy),
+    ];
+
+    match what.as_str() {
+        "all" => {
+            for (name, f) in &experiments {
+                let start = std::time::Instant::now();
+                println!("################ {name} ################");
+                println!("{}", f(&mut session));
+                eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f64());
+            }
+        }
+        other => {
+            if let Some((_, f)) = experiments.iter().find(|(name, _)| *name == other) {
+                println!("{}", f(&mut session));
+            } else {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!(
+                    "usage: repro <{}|all> [--fast]",
+                    experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>().join("|")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

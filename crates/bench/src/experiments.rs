@@ -1,0 +1,61 @@
+//! Shared experiment plumbing: per-benchmark evaluation budgets and
+//! evaluator construction.
+
+use gpu_sim::GpuConfig;
+use memlstm::thresholds::Evaluator;
+use workloads::{Benchmark, Workload};
+
+/// How many evaluation sequences each benchmark gets.
+///
+/// The accuracy metric pools per-timestep predictions, so even a handful
+/// of sequences yields hundreds of samples; the budgets below balance that
+/// against the single-core CPU cost of the real f32 forward passes (PTB's
+/// 3x200x650 network is ~2 GFLOP per sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalBudget {
+    /// Sequences used for accuracy measurement.
+    pub accuracy_seqs: usize,
+    /// Sequences used for performance simulation.
+    pub perf_seqs: usize,
+}
+
+/// The default budget for a benchmark (scaled to its per-sequence cost).
+pub fn budget_for(benchmark: Benchmark) -> EvalBudget {
+    match benchmark {
+        Benchmark::Mr => EvalBudget { accuracy_seqs: 24, perf_seqs: 2 },
+        Benchmark::Babi => EvalBudget { accuracy_seqs: 8, perf_seqs: 2 },
+        Benchmark::Snli => EvalBudget { accuracy_seqs: 8, perf_seqs: 2 },
+        Benchmark::Imdb => EvalBudget { accuracy_seqs: 6, perf_seqs: 2 },
+        Benchmark::Mt => EvalBudget { accuracy_seqs: 6, perf_seqs: 2 },
+        Benchmark::Ptb => EvalBudget { accuracy_seqs: 4, perf_seqs: 1 },
+    }
+}
+
+/// A smaller budget for `--fast` smoke runs.
+pub fn fast_budget() -> EvalBudget {
+    EvalBudget { accuracy_seqs: 2, perf_seqs: 1 }
+}
+
+/// Builds the evaluator (offline phase included) for one benchmark on the
+/// Tegra X1, with its default budget.
+pub fn evaluator_for(benchmark: Benchmark, fast: bool) -> Evaluator {
+    let budget = if fast { fast_budget() } else { budget_for(benchmark) };
+    let workload = Workload::generate(benchmark, budget.accuracy_seqs, 0xBEEF);
+    Evaluator::new(workload, GpuConfig::tegra_x1())
+        .with_budget(budget.perf_seqs, budget.accuracy_seqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_scale_inversely_with_model_cost() {
+        assert!(budget_for(Benchmark::Mr).accuracy_seqs > budget_for(Benchmark::Ptb).accuracy_seqs);
+        for b in Benchmark::ALL {
+            let budget = budget_for(b);
+            assert!(budget.accuracy_seqs >= 2);
+            assert!(budget.perf_seqs >= 1);
+        }
+    }
+}

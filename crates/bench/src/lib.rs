@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `figures_*`/`tables` function reproduces one evaluation artifact;
+//! the `repro` binary dispatches to them (`cargo run -p mf-bench --release
+//! --bin repro -- <experiment>`). Shared plumbing — workload construction
+//! with per-benchmark evaluation budgets, sweep caching, text tables —
+//! lives in [`session`], [`experiments`] and [`table`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod figures_memory;
+pub mod figures_perf;
+pub mod figures_tradeoff;
+pub mod figures_user;
+pub mod session;
+pub mod table;
+pub mod tables;
+
+pub use experiments::{budget_for, evaluator_for, EvalBudget};
+pub use session::{Level, Session};
+pub use table::TextTable;

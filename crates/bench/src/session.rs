@@ -1,0 +1,119 @@
+//! A reproduction session: caches per-benchmark evaluators and threshold
+//! sweeps so the experiments that share them (Figs. 14, 18, 19, ...) pay
+//! for them once.
+
+use crate::experiments::{budget_for, fast_budget};
+use gpu_sim::GpuConfig;
+use memlstm::drs::{DrsConfig, DrsMode};
+use memlstm::exec::OptimizerConfig;
+use memlstm::thresholds::{threshold_sets, Evaluator, ThresholdSet, TradeoffPoint};
+use std::collections::BTreeMap;
+use workloads::{Benchmark, Workload};
+
+/// Number of threshold sets in every sweep (paper: 11).
+pub const NUM_SETS: usize = 11;
+
+/// Which optimization level a sweep exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Inter-cell only (`α_intra = 0`).
+    Inter,
+    /// Intra-cell only (`α_inter = 0`).
+    Intra,
+    /// Both levels.
+    Combined,
+}
+
+/// Cached state for one `repro` invocation.
+pub struct Session {
+    fast: bool,
+    evaluators: BTreeMap<Benchmark, Evaluator>,
+    sweeps: BTreeMap<(Benchmark, Level), Vec<TradeoffPoint>>,
+}
+
+impl Session {
+    /// Creates a session; `fast` shrinks evaluation budgets for smoke runs.
+    pub fn new(fast: bool) -> Self {
+        Self { fast, evaluators: BTreeMap::new(), sweeps: BTreeMap::new() }
+    }
+
+    /// Whether this is a fast (smoke) session.
+    pub fn is_fast(&self) -> bool {
+        self.fast
+    }
+
+    /// The evaluator for a benchmark (offline phase runs on first use).
+    pub fn evaluator(&mut self, benchmark: Benchmark) -> &Evaluator {
+        let fast = self.fast;
+        self.evaluators.entry(benchmark).or_insert_with(|| {
+            eprintln!("[session] preparing {benchmark} (offline phase)...");
+            let budget = if fast { fast_budget() } else { budget_for(benchmark) };
+            let workload = Workload::generate(benchmark, budget.accuracy_seqs, 0xBEEF);
+            Evaluator::new(workload, GpuConfig::tegra_x1())
+                .with_budget(budget.perf_seqs, budget.accuracy_seqs)
+        })
+    }
+
+    /// The threshold sets for a benchmark (from its offline upper limits).
+    pub fn sets(&mut self, benchmark: Benchmark) -> Vec<ThresholdSet> {
+        let ev = self.evaluator(benchmark);
+        threshold_sets(ev.upper_alpha_inter(), ev.upper_alpha_intra(), NUM_SETS)
+    }
+
+    /// The configuration a threshold set maps to at a given level.
+    pub fn config_for(&mut self, benchmark: Benchmark, level: Level, set: &ThresholdSet) -> OptimizerConfig {
+        let mts = self.evaluator(benchmark).mts();
+        match level {
+            Level::Inter => OptimizerConfig::inter_only(set.alpha_inter, mts),
+            Level::Intra => OptimizerConfig::intra_only(DrsConfig {
+                alpha_intra: set.alpha_intra,
+                mode: DrsMode::Hardware,
+            }),
+            Level::Combined => OptimizerConfig::combined(
+                set.alpha_inter,
+                mts,
+                DrsConfig { alpha_intra: set.alpha_intra, mode: DrsMode::Hardware },
+            ),
+        }
+    }
+
+    /// The 11-point sweep of a benchmark at a level, cached.
+    pub fn sweep(&mut self, benchmark: Benchmark, level: Level) -> Vec<TradeoffPoint> {
+        if let Some(points) = self.sweeps.get(&(benchmark, level)) {
+            return points.clone();
+        }
+        eprintln!("[session] sweeping {benchmark} ({level:?})...");
+        let sets = self.sets(benchmark);
+        let configs: Vec<_> =
+            sets.iter().map(|s| (s, self.config_for(benchmark, level, s))).collect();
+        let configs: Vec<(ThresholdSet, OptimizerConfig)> =
+            configs.into_iter().map(|(s, c)| (*s, c)).collect();
+        let ev = self.evaluator(benchmark);
+        let base = ev.baseline_perf();
+        let points: Vec<TradeoffPoint> = configs
+            .iter()
+            .map(|(set, config)| {
+                let (perf, accuracy, _) = ev.evaluate(*config);
+                TradeoffPoint {
+                    set: *set,
+                    speedup: base.time_s / perf.time_s,
+                    accuracy,
+                    energy_saving: 1.0 - perf.energy_j / base.energy_j,
+                    power_saving: 1.0 - perf.power_w() / base.power_w(),
+                }
+            })
+            .collect();
+        self.sweeps.insert((benchmark, level), points.clone());
+        points
+    }
+
+    /// The benchmarks a session iterates over (`--fast` restricts to the
+    /// two cheapest so smoke runs finish quickly).
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        if self.fast {
+            vec![Benchmark::Mr, Benchmark::Babi]
+        } else {
+            Benchmark::ALL.to_vec()
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! GPU configuration (paper Table I).
+
+use crate::energy::EnergyModel;
+
+/// Static description of the simulated mobile GPU and its memory system.
+///
+/// The default constructor of interest is [`GpuConfig::tegra_x1`], matching
+/// the paper's evaluation platform (Table I): Tegra X1 SoC, Maxwell GPU
+/// with 256 cores at 998 MHz, 4 GB LPDDR4 at 25.6 GB/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// CUDA cores per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// FLOPs per core per cycle (2 for fused multiply-add).
+    pub flops_per_core_cycle: f64,
+    /// Off-chip (LPDDR4) bandwidth in GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// Effective achievable fraction of peak DRAM bandwidth for streaming
+    /// kernels (row-buffer and refresh overheads).
+    pub dram_efficiency: f64,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: usize,
+    /// L2 cache line size in bytes.
+    pub l2_line_bytes: usize,
+    /// Effective on-chip (shared-memory) bytes per cycle per SM, after
+    /// bank-conflict and port-efficiency derating.
+    pub smem_bytes_per_cycle_sm: f64,
+    /// Fixed host-side kernel launch overhead in microseconds.
+    pub kernel_launch_us: f64,
+    /// Barrier-synchronization cycles charged per CTA.
+    pub barrier_cycles_per_cta: f64,
+    /// Warp width in threads.
+    pub warp_size: u32,
+    /// Maximum resident threads per SM (occupancy ceiling).
+    pub max_threads_per_sm: u32,
+    /// Multiplier applied to the on-chip-bound execution time when a kernel
+    /// must be *re-configured* because its shared-memory demand exceeds the
+    /// on-chip bandwidth (paper Sec. IV-C: the re-configuration "reduces
+    /// the on-chip bandwidth requirements per thread but increases the
+    /// thread amount in the kernel", extending execution time). The penalty
+    /// scales with the overshoot ratio; this is the slope.
+    pub reconfig_penalty_slope: f64,
+    /// Energy model parameters.
+    pub energy: EnergyModel,
+}
+
+impl GpuConfig {
+    /// The paper's evaluation platform: Jetson TX1 (Table I).
+    ///
+    /// The on-chip effective bandwidth (52 B/cycle/SM ≈ 104 GB/s total) is
+    /// the Maxwell shared-memory peak derated by measured bank-conflict
+    /// efficiency; it puts the on-chip/off-chip bandwidth ratio — and with
+    /// it the maximum tissue size of Fig. 9 — near the paper's 5–6.
+    pub fn tegra_x1() -> Self {
+        Self {
+            name: "NVIDIA Tegra X1 (Jetson TX1)".to_owned(),
+            num_sms: 2,
+            cores_per_sm: 128,
+            clock_ghz: 0.998,
+            flops_per_core_cycle: 2.0,
+            dram_bandwidth_gbps: 25.6,
+            dram_efficiency: 0.75,
+            l2_bytes: 256 * 1024,
+            l2_line_bytes: 128,
+            smem_bytes_per_cycle_sm: 52.0,
+            kernel_launch_us: 2.5,
+            barrier_cycles_per_cta: 900.0,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            reconfig_penalty_slope: 0.55,
+            energy: EnergyModel::tegra_x1(),
+        }
+    }
+
+    /// A hypothetical larger mobile GPU (double the SMs and bandwidth),
+    /// used by scalability studies.
+    pub fn tegra_x1_2x() -> Self {
+        let mut cfg = Self::tegra_x1();
+        cfg.name = "Hypothetical 2x Tegra X1".to_owned();
+        cfg.num_sms = 4;
+        cfg.dram_bandwidth_gbps = 51.2;
+        cfg.l2_bytes = 512 * 1024;
+        cfg
+    }
+
+    /// Total cores.
+    pub fn total_cores(&self) -> u32 {
+        self.num_sms * self.cores_per_sm
+    }
+
+    /// Peak compute throughput in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        f64::from(self.total_cores()) * self.flops_per_core_cycle * self.clock_ghz * 1e9
+    }
+
+    /// Effective off-chip bandwidth in bytes/s (peak x efficiency).
+    pub fn effective_dram_bytes_per_s(&self) -> f64 {
+        self.dram_bandwidth_gbps * 1e9 * self.dram_efficiency
+    }
+
+    /// Peak off-chip bandwidth in bytes/s.
+    pub fn peak_dram_bytes_per_s(&self) -> f64 {
+        self.dram_bandwidth_gbps * 1e9
+    }
+
+    /// Aggregate on-chip (shared-memory) bandwidth in bytes/s.
+    pub fn smem_bytes_per_s(&self) -> f64 {
+        f64::from(self.num_sms) * self.smem_bytes_per_cycle_sm * self.clock_ghz * 1e9
+    }
+
+    /// Seconds per core clock cycle.
+    pub fn cycle_s(&self) -> f64 {
+        1.0 / (self.clock_ghz * 1e9)
+    }
+
+    /// Kernel launch overhead in seconds.
+    pub fn launch_s(&self) -> f64 {
+        self.kernel_launch_us * 1e-6
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::tegra_x1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tegra_x1_matches_table_1() {
+        let cfg = GpuConfig::tegra_x1();
+        assert_eq!(cfg.total_cores(), 256);
+        assert!((cfg.clock_ghz - 0.998).abs() < 1e-9);
+        assert!((cfg.dram_bandwidth_gbps - 25.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_flops_is_cores_times_two_times_clock() {
+        let cfg = GpuConfig::tegra_x1();
+        let expected = 256.0 * 2.0 * 0.998e9;
+        assert!((cfg.peak_flops() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn onchip_offchip_ratio_supports_mts_of_five() {
+        // The maximum tissue size emerges from this ratio (Fig. 9); the
+        // paper reports MTS = 5-6 on the TX1.
+        let cfg = GpuConfig::tegra_x1();
+        let ratio = cfg.smem_bytes_per_s() / cfg.effective_dram_bytes_per_s();
+        assert!(ratio > 4.0 && ratio < 8.0, "on/off-chip ratio {ratio}");
+    }
+
+    #[test]
+    fn scaled_config_doubles_bandwidth() {
+        let big = GpuConfig::tegra_x1_2x();
+        assert_eq!(big.num_sms, 4);
+        assert!((big.dram_bandwidth_gbps - 51.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_tegra() {
+        assert_eq!(GpuConfig::default(), GpuConfig::tegra_x1());
+    }
+}

@@ -1,0 +1,159 @@
+//! Energy model.
+//!
+//! The paper reports *system* energy ("the energy consumption of the overall
+//! system including CPU, GPU, etc.", Sec. VI-A). The model here therefore
+//! carries both GPU-local dynamic energy (per FLOP, per byte moved on each
+//! level of the hierarchy) and the static rails of the whole board that burn
+//! for the duration of the run.
+
+/// Energy-model parameters (picojoule-scale dynamic costs, watt-scale
+/// static rails).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// GPU static/leakage power in watts while the job runs.
+    pub gpu_static_w: f64,
+    /// Rest-of-system (CPU, memory controller, board) power in watts.
+    pub system_static_w: f64,
+    /// Energy per byte transferred over the LPDDR4 interface, in pJ.
+    pub dram_pj_per_byte: f64,
+    /// Energy per byte moved through on-chip shared memory, in pJ.
+    pub smem_pj_per_byte: f64,
+    /// Energy per floating-point operation, in pJ.
+    pub flop_pj: f64,
+    /// Energy per kernel launch (driver + front-end), in nJ.
+    pub launch_nj: f64,
+}
+
+impl EnergyModel {
+    /// LPDDR4-era constants for the Tegra X1 class of device.
+    pub fn tegra_x1() -> Self {
+        Self {
+            gpu_static_w: 1.4,
+            system_static_w: 2.2,
+            dram_pj_per_byte: 46.0,
+            smem_pj_per_byte: 3.1,
+            flop_pj: 3.8,
+            launch_nj: 900.0,
+        }
+    }
+
+    /// Computes the energy of a run.
+    pub fn energy(
+        &self,
+        time_s: f64,
+        flops: u64,
+        dram_bytes: u64,
+        smem_bytes: u64,
+        launches: u64,
+    ) -> EnergyBreakdown {
+        EnergyBreakdown {
+            static_j: (self.gpu_static_w + self.system_static_w) * time_s,
+            compute_j: flops as f64 * self.flop_pj * 1e-12,
+            dram_j: dram_bytes as f64 * self.dram_pj_per_byte * 1e-12,
+            smem_j: smem_bytes as f64 * self.smem_pj_per_byte * 1e-12,
+            launch_j: launches as f64 * self.launch_nj * 1e-9,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::tegra_x1()
+    }
+}
+
+/// Per-component energy of a simulated run, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Static rails (GPU leakage + rest of system) x time.
+    pub static_j: f64,
+    /// Floating-point compute energy.
+    pub compute_j: f64,
+    /// Off-chip (DRAM) transfer energy.
+    pub dram_j: f64,
+    /// On-chip (shared-memory) transfer energy.
+    pub smem_j: f64,
+    /// Kernel-launch energy.
+    pub launch_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.compute_j + self.dram_j + self.smem_j + self.launch_j
+    }
+
+    /// Adds another breakdown component-wise.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        self.static_j += other.static_j;
+        self.compute_j += other.compute_j;
+        self.dram_j += other.dram_j;
+        self.smem_j += other.smem_j;
+        self.launch_j += other.launch_j;
+    }
+
+    /// Scales every component (used by overhead accounting).
+    pub fn scaled(&self, factor: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            static_j: self.static_j * factor,
+            compute_j: self.compute_j * factor,
+            dram_j: self.dram_j * factor,
+            smem_j: self.smem_j * factor,
+            launch_j: self.launch_j * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let b = EnergyBreakdown {
+            static_j: 1.0,
+            compute_j: 2.0,
+            dram_j: 3.0,
+            smem_j: 4.0,
+            launch_j: 5.0,
+        };
+        assert_eq!(b.total_j(), 15.0);
+    }
+
+    #[test]
+    fn static_energy_scales_with_time() {
+        let m = EnergyModel::tegra_x1();
+        let e1 = m.energy(1.0, 0, 0, 0, 0);
+        let e2 = m.energy(2.0, 0, 0, 0, 0);
+        assert!((e2.static_j - 2.0 * e1.static_j).abs() < 1e-12);
+        assert_eq!(e1.compute_j, 0.0);
+    }
+
+    #[test]
+    fn dram_dominates_smem_per_byte() {
+        // The premise of the whole paper: off-chip bytes are an order of
+        // magnitude more expensive than on-chip bytes.
+        let m = EnergyModel::tegra_x1();
+        assert!(m.dram_pj_per_byte > 10.0 * m.smem_pj_per_byte);
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let m = EnergyModel::tegra_x1();
+        let mut a = m.energy(0.5, 1000, 2000, 3000, 1);
+        let b = a;
+        a.accumulate(&b);
+        assert!((a.total_j() - 2.0 * b.total_j()).abs() < 1e-15);
+        let half = a.scaled(0.5);
+        assert!((half.total_j() - b.total_j()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_component_magnitudes_are_sane() {
+        // 1 GB over DRAM should cost tens of mJ; 1 GFLOP a few mJ.
+        let m = EnergyModel::tegra_x1();
+        let e = m.energy(0.0, 1_000_000_000, 1_000_000_000, 0, 0);
+        assert!(e.dram_j > 0.01 && e.dram_j < 0.1, "dram_j={}", e.dram_j);
+        assert!(e.compute_j > 0.001 && e.compute_j < 0.01, "compute_j={}", e.compute_j);
+    }
+}

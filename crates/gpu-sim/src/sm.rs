@@ -1,0 +1,104 @@
+//! Streaming-multiprocessor occupancy analysis.
+//!
+//! A diagnostics companion to the bound-resource timing model: given a
+//! kernel's CTA geometry, how many CTAs fit per SM, what occupancy that
+//! achieves, and how many *waves* the grid needs. The paper's kernel
+//! re-configuration discussion (Sec. IV-C: "reduces the on-chip bandwidth
+//! requirements per thread but increases the thread amount in the kernel")
+//! is an occupancy statement — re-configured tissue kernels launch more
+//! threads and need more waves, which is the physical origin of the
+//! post-MTS performance droop the timing model prices with its penalty
+//! slope.
+
+use crate::config::GpuConfig;
+use crate::kernel::KernelDesc;
+
+/// Hardware ceiling on concurrent CTAs per SM (Maxwell: 32).
+pub const MAX_CTAS_PER_SM: u32 = 32;
+
+/// Occupancy analysis of one kernel on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// CTAs resident per SM.
+    pub ctas_per_sm: u32,
+    /// Threads resident per SM.
+    pub threads_per_sm: u32,
+    /// Fraction of the SM's thread slots occupied, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Number of CTA waves the whole grid needs on the device.
+    pub waves: u32,
+}
+
+/// Analyzes the occupancy of `kernel` on `config`.
+///
+/// Returns an all-zero analysis for an empty grid.
+pub fn analyze(config: &GpuConfig, kernel: &KernelDesc) -> Occupancy {
+    let cta_size = kernel.cta_size.max(1);
+    let total_ctas = kernel.num_ctas();
+    if total_ctas == 0 {
+        return Occupancy { ctas_per_sm: 0, threads_per_sm: 0, occupancy: 0.0, waves: 0 };
+    }
+    let by_threads = config.max_threads_per_sm / cta_size;
+    let ctas_per_sm = by_threads.clamp(1, MAX_CTAS_PER_SM);
+    let threads_per_sm = (ctas_per_sm * cta_size).min(config.max_threads_per_sm);
+    let occupancy = f64::from(threads_per_sm) / f64::from(config.max_threads_per_sm);
+    let device_capacity = ctas_per_sm * config.num_sms;
+    let waves = total_ctas.div_ceil(device_capacity);
+    Occupancy { ctas_per_sm, threads_per_sm, occupancy, waves }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::RegionId;
+    use crate::kernel::KernelKind;
+
+    fn kernel(threads: u64, cta: u32) -> KernelDesc {
+        KernelDesc::builder("k", KernelKind::Sgemv)
+            .read(RegionId::new(1), 1024)
+            .threads(threads, cta)
+            .build()
+    }
+
+    #[test]
+    fn small_grid_fits_in_one_wave() {
+        let cfg = GpuConfig::tegra_x1();
+        let occ = analyze(&cfg, &kernel(1024, 256));
+        assert_eq!(occ.waves, 1);
+        assert_eq!(occ.ctas_per_sm, 8); // 2048 / 256
+        assert!((occ.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_grid_needs_multiple_waves() {
+        let cfg = GpuConfig::tegra_x1();
+        // 200 CTAs against 16 concurrent (8 per SM x 2 SMs).
+        let occ = analyze(&cfg, &kernel(200 * 256, 256));
+        assert_eq!(occ.waves, 200u32.div_ceil(16));
+    }
+
+    #[test]
+    fn tiny_ctas_hit_the_cta_ceiling() {
+        let cfg = GpuConfig::tegra_x1();
+        let occ = analyze(&cfg, &kernel(32 * 64, 32));
+        assert_eq!(occ.ctas_per_sm, MAX_CTAS_PER_SM);
+        // 32 CTAs x 32 threads = 1024 of 2048 slots: 50% occupancy.
+        assert!((occ.occupancy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconfigured_tissue_kernel_needs_more_waves() {
+        // The Sec. IV-C story: more threads per kernel -> more waves.
+        let cfg = GpuConfig::tegra_x1();
+        let narrow = analyze(&cfg, &kernel(4 * 650, 256));
+        let reconfigured = analyze(&cfg, &kernel(8 * 4 * 650, 256));
+        assert!(reconfigured.waves > narrow.waves);
+    }
+
+    #[test]
+    fn empty_grid_is_zero() {
+        let cfg = GpuConfig::tegra_x1();
+        let occ = analyze(&cfg, &kernel(0, 128));
+        assert_eq!(occ, Occupancy { ctas_per_sm: 0, threads_per_sm: 0, occupancy: 0.0, waves: 0 });
+    }
+}

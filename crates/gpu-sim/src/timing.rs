@@ -1,0 +1,197 @@
+//! Bound-resource kernel timing with pipeline-stall attribution.
+//!
+//! A kernel's execution time is the maximum of its compute time, its
+//! off-chip (DRAM) transfer time and its on-chip (shared-memory) transfer
+//! time, plus fixed launch/barrier overheads. The surplus of the binding
+//! resource over the compute time is attributed as pipeline stall in the
+//! categories of the paper's Fig. 4.
+//!
+//! When the on-chip traffic is the binding resource the kernel must be
+//! *re-configured* (paper Sec. IV-C): more threads each demanding less
+//! bandwidth per cycle. The re-configuration keeps on-chip utilization
+//! below 100% but extends execution time — modelled as a penalty that
+//! grows with the overshoot ratio. This is what bends the tissue-size
+//! curve downward past the MTS in Fig. 9.
+
+use crate::config::GpuConfig;
+use crate::kernel::KernelDesc;
+use crate::report::{BoundResource, StallBreakdown};
+
+/// Fraction of compute time charged as execution-dependency stalls
+/// (register dependencies, issue stalls) — a minor Fig. 4 category.
+const EXEC_DEP_FRACTION: f64 = 0.08;
+
+/// Fraction of execution time charged as unclassified "other" stalls.
+const OTHER_FRACTION: f64 = 0.04;
+
+/// Timing result for a single kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTiming {
+    /// Execution time (excludes launch/barrier overhead), seconds.
+    pub exec_s: f64,
+    /// Launch + barrier overhead, seconds.
+    pub overhead_s: f64,
+    /// Which resource bound the execution.
+    pub bound: BoundResource,
+    /// Stall attribution.
+    pub stall: StallBreakdown,
+    /// Whether the on-chip ceiling forced a kernel re-configuration.
+    pub reconfigured: bool,
+    /// Component times for diagnostics: (compute, dram, smem), seconds.
+    pub components_s: (f64, f64, f64),
+}
+
+impl KernelTiming {
+    /// Total kernel time (execution + overhead), seconds.
+    pub fn total_s(&self) -> f64 {
+        self.exec_s + self.overhead_s
+    }
+}
+
+/// Computes the timing of `desc` given `dram_bytes` actually transferred
+/// (post-cache reads plus writes).
+pub fn kernel_time(cfg: &GpuConfig, desc: &KernelDesc, dram_bytes: u64) -> KernelTiming {
+    let t_compute = desc.flops as f64 / cfg.peak_flops() * desc.divergence;
+    let t_dram = dram_bytes as f64 / (cfg.effective_dram_bytes_per_s() * desc.dram_derate);
+    let t_smem = desc.smem_bytes as f64 / cfg.smem_bytes_per_s();
+
+    let mut reconfigured = false;
+    let other_max = t_compute.max(t_dram);
+    let mut exec = other_max.max(t_smem);
+    if t_smem > other_max && other_max > 0.0 {
+        // On-chip bandwidth ceiling: kernel re-configuration penalty.
+        let overshoot = t_smem / other_max - 1.0;
+        exec = t_smem * (1.0 + cfg.reconfig_penalty_slope * overshoot.min(4.0));
+        reconfigured = true;
+    }
+
+    let bound = if reconfigured || (t_smem >= t_dram && t_smem >= t_compute && t_smem > 0.0) {
+        BoundResource::OnChip
+    } else if t_dram >= t_compute && t_dram > 0.0 {
+        BoundResource::OffChip
+    } else {
+        BoundResource::Compute
+    };
+
+    let barrier_s = f64::from(desc.num_ctas()) * cfg.barrier_cycles_per_cta * cfg.cycle_s();
+    let overhead_s = cfg.launch_s() + barrier_s;
+
+    let off_chip_stall = (t_dram - t_compute.max(t_smem)).max(0.0);
+    let on_chip_stall = (exec - t_compute.max(t_dram)).max(0.0).min(exec);
+    let stall = StallBreakdown {
+        off_chip_s: off_chip_stall,
+        on_chip_s: if bound == BoundResource::OnChip { on_chip_stall } else { 0.0 },
+        barrier_s,
+        exec_dep_s: EXEC_DEP_FRACTION * t_compute,
+        other_s: OTHER_FRACTION * exec,
+    };
+
+    KernelTiming {
+        exec_s: exec,
+        overhead_s,
+        bound,
+        stall,
+        reconfigured,
+        components_s: (t_compute, t_dram, t_smem),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::RegionId;
+    use crate::kernel::KernelKind;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tegra_x1()
+    }
+
+    fn gemv_like(flops: u64, smem: u64) -> KernelDesc {
+        KernelDesc::builder("k", KernelKind::Sgemv)
+            .flops(flops)
+            .read(RegionId::new(1), 0)
+            .smem(smem)
+            .threads(2048, 256)
+            .build()
+    }
+
+    #[test]
+    fn dram_bound_kernel_is_off_chip_limited() {
+        // A per-cell Sgemv: 2 MFLOP of compute against 4 MB of weights.
+        let desc = gemv_like(2_000_000, 100_000);
+        let t = kernel_time(&cfg(), &desc, 4 * 1024 * 1024);
+        assert_eq!(t.bound, BoundResource::OffChip);
+        let (c, d, s) = t.components_s;
+        assert!(d > 10.0 * c, "should be strongly memory bound: {c} {d} {s}");
+        assert!((t.exec_s - d).abs() < 1e-12);
+        assert!(t.stall.off_chip_s > 0.5 * t.exec_s);
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let desc = gemv_like(500_000_000, 1000);
+        let t = kernel_time(&cfg(), &desc, 1000);
+        assert_eq!(t.bound, BoundResource::Compute);
+        assert!(!t.reconfigured);
+        assert_eq!(t.stall.off_chip_s, 0.0);
+    }
+
+    #[test]
+    fn smem_bound_kernel_reconfigures_and_pays_penalty() {
+        let desc = gemv_like(1_000, 50_000_000);
+        let t = kernel_time(&cfg(), &desc, 1_000_000);
+        assert_eq!(t.bound, BoundResource::OnChip);
+        assert!(t.reconfigured);
+        let (_, _, s) = t.components_s;
+        assert!(t.exec_s > s, "penalty must extend past raw smem time");
+    }
+
+    #[test]
+    fn divergence_scales_compute_time() {
+        let base = KernelDesc::builder("k", KernelKind::Sgemv)
+            .flops(1_000_000_000)
+            .threads(2048, 256)
+            .build();
+        let mut diverged = base.clone();
+        diverged.divergence = 2.0;
+        let t1 = kernel_time(&cfg(), &base, 0);
+        let t2 = kernel_time(&cfg(), &diverged, 0);
+        assert!((t2.exec_s - 2.0 * t1.exec_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_includes_launch_and_barrier() {
+        let desc = gemv_like(1000, 0);
+        let t = kernel_time(&cfg(), &desc, 0);
+        assert!(t.overhead_s >= cfg().launch_s());
+        assert!(t.stall.barrier_s > 0.0);
+        assert!(t.total_s() >= t.exec_s + cfg().launch_s());
+    }
+
+    #[test]
+    fn stall_fractions_offchip_dominates_for_sgemv() {
+        // Reproduces the Fig. 4 shape for a typical per-cell Sgemv.
+        let h = 512u64;
+        let desc = gemv_like(2 * 4 * h * h, 4 * h * h * 4 / 8);
+        let t = kernel_time(&cfg(), &desc, 4 * h * h * 4);
+        let total = t.stall.total_s();
+        assert!(t.stall.off_chip_s / total > 0.6, "off-chip share {}", t.stall.off_chip_s / total);
+    }
+
+    #[test]
+    fn dram_derate_slows_memory_bound_kernels() {
+        let mut desc = gemv_like(1000, 0);
+        let fast = kernel_time(&cfg(), &desc, 1 << 20);
+        desc.dram_derate = 0.5;
+        let slow = kernel_time(&cfg(), &desc, 1 << 20);
+        assert!((slow.exec_s - 2.0 * fast.exec_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_kernel_has_zero_exec() {
+        let desc = KernelDesc::builder("noop", KernelKind::Other).build();
+        let t = kernel_time(&cfg(), &desc, 0);
+        assert_eq!(t.exec_s, 0.0);
+        assert_eq!(t.bound, BoundResource::Compute);
+    }
+}

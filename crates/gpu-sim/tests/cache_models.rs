@@ -1,0 +1,91 @@
+//! Property tests cross-validating the analytic region cache against the
+//! line-granular reference model, plus timing-model invariants.
+
+use gpu_sim::cache::{LineCache, RegionCache, RegionId};
+use gpu_sim::{GpuConfig, KernelDesc, KernelKind};
+use proptest::prelude::*;
+
+const CAPACITY: u64 = 8192;
+const LINE: u64 = 64;
+
+fn region_sizes() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    // (region id, bytes) access stream; sizes are line multiples.
+    proptest::collection::vec((0u8..4, 1u64..40), 1..30)
+        .prop_map(|v| v.into_iter().map(|(r, lines)| (r, lines * LINE)).collect())
+}
+
+proptest! {
+    #[test]
+    fn region_cache_never_exceeds_capacity(accesses in region_sizes()) {
+        let mut cache = RegionCache::new(CAPACITY);
+        for (r, bytes) in accesses {
+            cache.access(RegionId::new(u64::from(r)), bytes);
+            prop_assert!(cache.resident_bytes() <= CAPACITY);
+        }
+    }
+
+    #[test]
+    fn hits_never_exceed_request(accesses in region_sizes()) {
+        let mut cache = RegionCache::new(CAPACITY);
+        for (r, bytes) in accesses {
+            let outcome = cache.access(RegionId::new(u64::from(r)), bytes);
+            prop_assert_eq!(outcome.hit_bytes + outcome.miss_bytes, bytes);
+        }
+    }
+
+    #[test]
+    fn analytic_and_line_models_agree_on_small_region_reuse(lines in 1u64..100) {
+        // A single region accessed twice: both models hit fully on the
+        // second pass iff the region fits, and miss (almost) fully if not.
+        let bytes = lines * LINE;
+        let region = RegionId::new(1);
+
+        let mut analytic = RegionCache::new(CAPACITY);
+        analytic.access(region, bytes);
+        let second = analytic.access(region, bytes);
+
+        let mut reference = LineCache::new(CAPACITY, LINE, 4);
+        reference.access(region, 0, bytes);
+        let ref_second = reference.access(region, 0, bytes);
+
+        if bytes <= CAPACITY / 2 {
+            // Comfortably fits: both models hit fully.
+            prop_assert_eq!(second.miss_bytes, 0);
+            prop_assert_eq!(ref_second.miss_bytes, 0);
+        } else if bytes > CAPACITY {
+            // Thrash: the analytic model misses fully; the set-associative
+            // reference must miss on at least 80% (conflict noise allowed).
+            prop_assert_eq!(second.hit_bytes, 0);
+            prop_assert!(ref_second.hit_bytes * 5 <= bytes);
+        }
+    }
+
+    #[test]
+    fn kernel_time_is_monotone_in_traffic(flops in 0u64..10_000_000, bytes in 0u64..50_000_000) {
+        let cfg = GpuConfig::tegra_x1();
+        let desc = KernelDesc::builder("k", KernelKind::Sgemv)
+            .flops(flops)
+            .threads(1024, 256)
+            .build();
+        let t1 = gpu_sim::timing::kernel_time(&cfg, &desc, bytes);
+        let t2 = gpu_sim::timing::kernel_time(&cfg, &desc, bytes + 1_000_000);
+        prop_assert!(t2.exec_s >= t1.exec_s);
+        prop_assert!(t1.exec_s >= 0.0);
+        prop_assert!(t1.total_s() >= t1.exec_s);
+    }
+
+    #[test]
+    fn stall_components_are_nonnegative(flops in 0u64..5_000_000, smem in 0u64..5_000_000, bytes in 0u64..5_000_000) {
+        let cfg = GpuConfig::tegra_x1();
+        let desc = KernelDesc::builder("k", KernelKind::Sgemm)
+            .flops(flops)
+            .smem(smem)
+            .threads(2048, 256)
+            .build();
+        let t = gpu_sim::timing::kernel_time(&cfg, &desc, bytes);
+        prop_assert!(t.stall.off_chip_s >= 0.0);
+        prop_assert!(t.stall.on_chip_s >= 0.0);
+        prop_assert!(t.stall.barrier_s >= 0.0);
+        prop_assert!(t.stall.total_s() >= 0.0);
+    }
+}

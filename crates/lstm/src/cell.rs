@@ -1,0 +1,656 @@
+//! The LSTM cell: weights and the Eq. 1–5 arithmetic.
+
+use rand::Rng;
+use tensor::gemm::{sgemv, sgemv_masked};
+use tensor::init::{xavier_uniform, GateBiasInit, RowScaledInit};
+use tensor::{tanh, Activation, Matrix, Vector};
+
+/// One vector per LSTM gate, in the paper's `f, i, c, o` order.
+///
+/// Depending on context this holds pre-activations (`W·x` terms), biases,
+/// or post-activation gate values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateVectors {
+    /// Forget-gate component.
+    pub f: Vector,
+    /// Input-gate component.
+    pub i: Vector,
+    /// Candidate-state component.
+    pub c: Vector,
+    /// Output-gate component.
+    pub o: Vector,
+}
+
+impl GateVectors {
+    /// All-zero gate vectors of width `hidden`.
+    pub fn zeros(hidden: usize) -> Self {
+        Self {
+            f: Vector::zeros(hidden),
+            i: Vector::zeros(hidden),
+            c: Vector::zeros(hidden),
+            o: Vector::zeros(hidden),
+        }
+    }
+}
+
+/// Alias used where the vectors are the `W_{f,i,c,o}·x_t` pre-activation
+/// terms computed by the per-layer `Sgemm` (paper Fig. 3, part 2).
+pub type GatePreacts = GateVectors;
+
+/// Result of one detailed cell step: outputs plus post-activation gates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStep {
+    /// Hidden output `h_t`.
+    pub h: Vector,
+    /// Cell state `c_t`.
+    pub c: Vector,
+    /// Post-activation gate values (`f_t`, `i_t`, `tanh` candidate, `o_t`).
+    pub gates: GateVectors,
+}
+
+/// The per-layer LSTM weights (shared by every unrolled cell of the layer).
+///
+/// Matrices follow Eqs. 1–4: `W_g` is `hidden x input`, `U_g` is
+/// `hidden x hidden`, and `b_g` has length `hidden`, for each gate
+/// `g ∈ {f, i, c, o}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellWeights {
+    /// Input weights per gate.
+    pub w: GateMatrices,
+    /// Recurrent weights per gate.
+    pub u: GateMatrices,
+    /// Biases per gate.
+    pub b: GateVectors,
+    hidden: usize,
+    input: usize,
+    gate_activation: Activation,
+}
+
+/// One matrix per LSTM gate, in `f, i, c, o` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateMatrices {
+    /// Forget gate.
+    pub f: Matrix,
+    /// Input gate.
+    pub i: Matrix,
+    /// Candidate state.
+    pub c: Matrix,
+    /// Output gate.
+    pub o: Matrix,
+}
+
+impl GateMatrices {
+    fn each_shape(&self) -> (usize, usize) {
+        self.f.shape()
+    }
+}
+
+/// Parameters of the trained-like random initialization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellInit {
+    /// Recurrent-matrix sampler (row-scale spread drives the weak-link
+    /// population Algorithm 2 discovers).
+    pub recurrent: RowScaledInit,
+    /// Output-gate bias mixture (saturated fraction drives the trivial-row
+    /// population Dynamic Row Skip removes).
+    pub output_bias: GateBiasInit,
+    /// Mean of the forget-gate bias (the usual `+1` convention keeps early
+    /// state alive).
+    pub forget_bias_mean: f32,
+    /// Gain multiplier on the input matrices `W`. Trained LSTMs are
+    /// strongly input-driven: the `W·x + b` term frequently pushes gate
+    /// pre-activations outside the sensitive area, which is precisely what
+    /// makes some context links weak (paper Sec. IV-A). A gain `> 1`
+    /// reproduces that saturation statistics on synthetic weights.
+    pub input_gain: f32,
+    /// Wire input channel 0 as a *segment boundary* detector: every
+    /// forget-gate row receives a strong negative weight on that channel
+    /// (and the input/output gates moderate negative ones), so a boundary
+    /// token coherently resets the cell. Trained LSTMs on text are well
+    /// documented to learn exactly such units at sentence/clause
+    /// boundaries; these resets are the weak context links the paper's
+    /// layer division finds. Only meaningful for the first layer (deeper
+    /// layers see hidden states, not tokens).
+    pub boundary_channel: bool,
+    /// Constant added to every entry of `W_f` — the *content keep-alive*
+    /// structure of deeper layers in stacked LSTMs: hidden states carry a
+    /// positive drift, so a positive-mean forget row keeps memory alive on
+    /// content and lets it collapse on the near-zero hidden states a lower
+    /// layer emits at segment boundaries. Combine with a negative
+    /// [`CellInit::forget_bias_mean`] to make the reset effective.
+    pub forget_input_shift: f32,
+    /// Mean of the candidate-state bias. The first layer carries a clear
+    /// positive drift (what makes the Eq. 6 expectation informative);
+    /// deeper layers need a small drift or their cell states saturate
+    /// `tanh` into a near-constant pattern and stop carrying information.
+    pub cand_bias_mean: f32,
+}
+
+impl Default for CellInit {
+    fn default() -> Self {
+        Self {
+            recurrent: RowScaledInit { base_std: 0.012, light_row_frac: 0.55, light_scale: 0.15 },
+            output_bias: GateBiasInit::default(),
+            forget_bias_mean: 1.0,
+            input_gain: 2.2,
+            boundary_channel: true,
+            forget_input_shift: 0.0,
+            cand_bias_mean: 0.45,
+        }
+    }
+}
+
+impl CellWeights {
+    /// Builds weights from explicit parts.
+    ///
+    /// # Panics
+    /// Panics if any shape is inconsistent with (`hidden`, `input`).
+    pub fn from_parts(w: GateMatrices, u: GateMatrices, b: GateVectors) -> Self {
+        let (hidden, input) = w.each_shape();
+        for m in [&w.f, &w.i, &w.c, &w.o] {
+            assert_eq!(m.shape(), (hidden, input), "W gate shape mismatch");
+        }
+        for m in [&u.f, &u.i, &u.c, &u.o] {
+            assert_eq!(m.shape(), (hidden, hidden), "U gate shape mismatch");
+        }
+        for v in [&b.f, &b.i, &b.c, &b.o] {
+            assert_eq!(v.len(), hidden, "bias length mismatch");
+        }
+        Self { w, u, b, hidden, input, gate_activation: Activation::Sigmoid }
+    }
+
+    /// Switches the gate activation to the hard sigmoid (the accelerated
+    /// variant some mobile frameworks substitute; paper Sec. IV-A notes
+    /// the sensitive-area boundaries fit both). The candidate/state path
+    /// keeps `tanh`.
+    pub fn with_gate_activation(mut self, activation: Activation) -> Self {
+        self.gate_activation = activation;
+        self
+    }
+
+    /// The gate activation in use.
+    pub fn gate_activation(&self) -> Activation {
+        self.gate_activation
+    }
+
+    /// Samples trained-like weights with the default [`CellInit`].
+    pub fn random(input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self::random_with(input, hidden, &CellInit::default(), rng)
+    }
+
+    /// Samples trained-like weights with explicit initialization parameters.
+    ///
+    /// Output-gate behaviour is sampled *per unit* in three persistent
+    /// classes, mirroring trained LSTMs where a unit's role is stable over
+    /// time rather than flickering token to token:
+    ///
+    /// * **deep-saturated** (fraction [`GateBiasInit::saturated_frac`]):
+    ///   strongly negative `b_o` *and* attenuated `W_o`/`U_o` rows, so the
+    ///   unit's output gate stays near zero for every input — the trivial
+    ///   rows Dynamic Row Skip removes at any threshold;
+    /// * **quiet** (fixed ~18%): moderately negative bias and attenuated
+    ///   rows (`o_t` hovers in the few-percent range) — skippable only at
+    ///   larger `α_intra`, at a measurable but small accuracy cost;
+    /// * **active**: ordinary bias and full-scale rows.
+    pub fn random_with(input: usize, hidden: usize, init: &CellInit, rng: &mut impl Rng) -> Self {
+        const QUIET_FRAC: f32 = 0.18;
+        // Per-unit output-gate class: 0 = active, 1 = quiet, 2 = deep.
+        let classes: Vec<u8> = (0..hidden)
+            .map(|_| {
+                let r: f32 = rng.gen();
+                if r < init.output_bias.saturated_frac {
+                    2
+                } else if r < init.output_bias.saturated_frac + QUIET_FRAC {
+                    1
+                } else {
+                    0
+                }
+            })
+            .collect();
+        // The output gate's input coupling is weaker than the other
+        // gates' across all classes (trained LSTMs hold o_t steadier than
+        // f/i/c against token-magnitude swings); deep/quiet units are
+        // attenuated further so they cannot be woken by strong tokens.
+        let o_row_scale = |class: u8| match class {
+            2 => 0.10f32,
+            1 => 0.20,
+            _ => 0.30,
+        };
+
+        let mut u_mat = || init.recurrent.sample(rng, hidden, hidden);
+        let u_f = u_mat();
+        let u_i = u_mat();
+        let u_c = u_mat();
+        let mut u_o = u_mat();
+        for (j, &class) in classes.iter().enumerate() {
+            let scale = o_row_scale(class);
+            if scale < 1.0 {
+                for v in u_o.row_mut(j) {
+                    *v *= scale;
+                }
+            }
+        }
+        let u = GateMatrices { f: u_f, i: u_i, c: u_c, o: u_o };
+
+        let w_mat = |rng: &mut dyn rand::RngCore| {
+            let mut m = xavier_uniform(rng, hidden, input);
+            for v in m.as_mut_slice() {
+                *v *= init.input_gain;
+            }
+            m
+        };
+        let mut w_f = w_mat(rng);
+        if init.forget_input_shift != 0.0 {
+            for v in w_f.as_mut_slice() {
+                *v += init.forget_input_shift;
+            }
+        }
+        let mut w_i = w_mat(rng);
+        let w_c = w_mat(rng);
+        let mut w_o = w_mat(rng);
+        for (j, &class) in classes.iter().enumerate() {
+            let scale = o_row_scale(class);
+            if scale < 1.0 {
+                for v in w_o.row_mut(j) {
+                    *v *= scale;
+                }
+            }
+        }
+        if init.boundary_channel {
+            // The learned segment-boundary detector: channel 0 closes the
+            // forget and input gates and quiets the output gate.
+            for j in 0..hidden {
+                w_f[(j, 0)] = -(2.0 + tensor::init::normal(rng, 0.0, 0.5).abs());
+                w_i[(j, 0)] = -(1.4 + tensor::init::normal(rng, 0.0, 0.4).abs());
+                let o_scale = o_row_scale(classes[j]);
+                w_o[(j, 0)] = -(1.1 + tensor::init::normal(rng, 0.0, 0.3).abs()) / o_scale.max(0.3) * o_scale;
+            }
+        }
+        let w = GateMatrices { f: w_f, i: w_i, c: w_c, o: w_o };
+
+        let plain = GateBiasInit {
+            saturated_frac: 0.0,
+            regular_mean: 0.0,
+            regular_std: 0.3,
+            ..init.output_bias
+        };
+        // Trained models are not sign-symmetric: the candidate-state bias
+        // carries a positive drift, which is what makes the context-link
+        // expectation (Eq. 6) a genuinely better predictor than zero.
+        let cand = GateBiasInit {
+            saturated_frac: 0.0,
+            regular_mean: init.cand_bias_mean,
+            regular_std: 0.35,
+            ..init.output_bias
+        };
+        let forget = GateBiasInit {
+            saturated_frac: 0.0,
+            regular_mean: init.forget_bias_mean,
+            regular_std: 0.3,
+            ..init.output_bias
+        };
+        let b_o = Vector::from_fn(hidden, |j| match classes[j] {
+            2 => tensor::init::normal(rng, -5.0, 0.45),
+            1 => tensor::init::normal(rng, -2.6, 0.35),
+            _ => tensor::init::normal(rng, init.output_bias.regular_mean, 0.55),
+        });
+        let b = GateVectors {
+            f: forget.sample(rng, hidden),
+            i: plain.sample(rng, hidden),
+            c: cand.sample(rng, hidden),
+            o: b_o,
+        };
+        Self::from_parts(w, u, b)
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Bytes of the united recurrent matrix `U_{f,i,c,o}`.
+    pub fn united_u_bytes(&self) -> u64 {
+        4 * self.hidden as u64 * self.hidden as u64 * 4
+    }
+
+    /// Bytes of the `U_{f,i,c}` slice used by the masked Sgemv of
+    /// Algorithm 3 line 7.
+    pub fn u_fic_bytes(&self) -> u64 {
+        3 * self.hidden as u64 * self.hidden as u64 * 4
+    }
+
+    /// Bytes of the `U_o` slice used by Algorithm 3 line 4.
+    pub fn u_o_bytes(&self) -> u64 {
+        self.hidden as u64 * self.hidden as u64 * 4
+    }
+
+    /// Bytes of the united input matrix `W_{f,i,c,o}`.
+    pub fn united_w_bytes(&self) -> u64 {
+        4 * self.hidden as u64 * self.input as u64 * 4
+    }
+
+    /// The united recurrent matrix (rows stacked `f, i, c, o`), as the
+    /// backend library would lay it out (paper Sec. II-C).
+    pub fn united_u(&self) -> Matrix {
+        Matrix::vstack(&[&self.u.f, &self.u.i, &self.u.c, &self.u.o])
+    }
+
+    /// Computes the `W_{f,i,c,o}·x_t` pre-activation terms (no bias).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != input_dim`.
+    pub fn precompute_wx(&self, x: &Vector) -> GatePreacts {
+        GatePreacts {
+            f: sgemv(&self.w.f, x),
+            i: sgemv(&self.w.i, x),
+            c: sgemv(&self.w.c, x),
+            o: sgemv(&self.w.o, x),
+        }
+    }
+
+    /// One exact cell step (Eqs. 1–5) from precomputed `W·x` terms.
+    pub fn step(&self, wx: &GatePreacts, h_prev: &Vector, c_prev: &Vector) -> (Vector, Vector) {
+        let step = self.step_detailed(wx, h_prev, c_prev);
+        (step.h, step.c)
+    }
+
+    /// One exact cell step that also returns post-activation gate values
+    /// (used by distribution collection and by tests).
+    pub fn step_detailed(&self, wx: &GatePreacts, h_prev: &Vector, c_prev: &Vector) -> CellStep {
+        let n = self.hidden;
+        assert_eq!(h_prev.len(), n, "h_prev length mismatch");
+        assert_eq!(c_prev.len(), n, "c_prev length mismatch");
+        let uf = sgemv(&self.u.f, h_prev);
+        let ui = sgemv(&self.u.i, h_prev);
+        let uc = sgemv(&self.u.c, h_prev);
+        let uo = sgemv(&self.u.o, h_prev);
+
+        let sig = self.gate_activation;
+        let mut f = Vector::zeros(n);
+        let mut i = Vector::zeros(n);
+        let mut cand = Vector::zeros(n);
+        let mut o = Vector::zeros(n);
+        let mut c = Vector::zeros(n);
+        let mut h = Vector::zeros(n);
+        for j in 0..n {
+            f[j] = sig.apply(wx.f[j] + uf[j] + self.b.f[j]);
+            i[j] = sig.apply(wx.i[j] + ui[j] + self.b.i[j]);
+            cand[j] = tanh(wx.c[j] + uc[j] + self.b.c[j]);
+            o[j] = sig.apply(wx.o[j] + uo[j] + self.b.o[j]);
+            c[j] = f[j] * c_prev[j] + i[j] * cand[j];
+            h[j] = o[j] * tanh(c[j]);
+        }
+        CellStep { h, c, gates: GateVectors { f, i, c: cand, o } }
+    }
+
+    /// Computes only the output gate `o_t = σ(W_o x + U_o h_{t-1} + b_o)` —
+    /// Algorithm 3 lines 4–5, executed *before* the `U_{f,i,c}` work so the
+    /// trivial rows can be identified.
+    pub fn output_gate(&self, wx_o: &Vector, h_prev: &Vector) -> Vector {
+        let uo = sgemv(&self.u.o, h_prev);
+        Vector::from_fn(self.hidden, |j| self.gate_activation.apply(wx_o[j] + uo[j] + self.b.o[j]))
+    }
+
+    /// One Dynamic-Row-Skip cell step (Algorithm 3 lines 7–8): the rows of
+    /// `U_{f,i,c}` where `active[j]` is `false` are skipped; the skipped
+    /// elements of `c_t` are approximated to zero (and with them `h_t`,
+    /// since `tanh(0) = 0`).
+    ///
+    /// `o` must be the output gate already computed by [`Self::output_gate`].
+    ///
+    /// # Panics
+    /// Panics on any length mismatch.
+    pub fn step_masked(
+        &self,
+        wx: &GatePreacts,
+        h_prev: &Vector,
+        c_prev: &Vector,
+        o: &Vector,
+        active: &[bool],
+    ) -> (Vector, Vector) {
+        let n = self.hidden;
+        assert_eq!(active.len(), n, "mask length mismatch");
+        assert_eq!(o.len(), n, "output-gate length mismatch");
+        let uf = sgemv_masked(&self.u.f, h_prev, active, 0.0);
+        let ui = sgemv_masked(&self.u.i, h_prev, active, 0.0);
+        let uc = sgemv_masked(&self.u.c, h_prev, active, 0.0);
+        let mut c = Vector::zeros(n);
+        let mut h = Vector::zeros(n);
+        let sig = self.gate_activation;
+        for j in 0..n {
+            if active[j] {
+                let f = sig.apply(wx.f[j] + uf[j] + self.b.f[j]);
+                let i = sig.apply(wx.i[j] + ui[j] + self.b.i[j]);
+                let cand = tanh(wx.c[j] + uc[j] + self.b.c[j]);
+                c[j] = f * c_prev[j] + i * cand;
+                h[j] = o[j] * tanh(c[j]);
+            } else {
+                // Skipped row: c_t element approximated to zero (Sec. V-A);
+                // h_t follows since tanh(0) = 0.
+                c[j] = 0.0;
+                h[j] = 0.0;
+            }
+        }
+        (h, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::init::seeded_rng;
+
+    fn small_cell(seed: u64) -> CellWeights {
+        CellWeights::random(6, 8, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let cell = small_cell(1);
+        assert_eq!(cell.hidden(), 8);
+        assert_eq!(cell.input_dim(), 6);
+        assert_eq!(cell.united_u().shape(), (32, 8));
+        assert_eq!(cell.united_u_bytes(), 4 * 8 * 8 * 4);
+        assert_eq!(cell.u_fic_bytes() + cell.u_o_bytes(), cell.united_u_bytes());
+        assert_eq!(cell.united_w_bytes(), 4 * 8 * 6 * 4);
+    }
+
+    #[test]
+    fn outputs_respect_mathematical_ranges() {
+        // h_t in [-1, 1] (Sec. IV-A derivation); gates in (0, 1).
+        let cell = small_cell(2);
+        let mut rng = seeded_rng(3);
+        let x = Vector::from_fn(6, |_| rng.gen_range(-1.0f32..1.0));
+        let h0 = Vector::from_fn(8, |_| rng.gen_range(-1.0f32..1.0));
+        let c0 = Vector::from_fn(8, |_| rng.gen_range(-2.0f32..2.0));
+        let wx = cell.precompute_wx(&x);
+        let step = cell.step_detailed(&wx, &h0, &c0);
+        for j in 0..8 {
+            assert!(step.h[j].abs() <= 1.0);
+            assert!(step.gates.f[j] > 0.0 && step.gates.f[j] < 1.0);
+            assert!(step.gates.i[j] > 0.0 && step.gates.i[j] < 1.0);
+            assert!(step.gates.o[j] > 0.0 && step.gates.o[j] < 1.0);
+            assert!(step.gates.c[j].abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn forget_gate_one_keeps_state() {
+        // With f ~= 1, i ~= 0, the cell state must persist (the LSTM's
+        // long-term memory property).
+        let hidden = 4;
+        let zeros_m = Matrix::zeros(hidden, hidden);
+        let w = GateMatrices {
+            f: Matrix::zeros(hidden, 2),
+            i: Matrix::zeros(hidden, 2),
+            c: Matrix::zeros(hidden, 2),
+            o: Matrix::zeros(hidden, 2),
+        };
+        let u = GateMatrices { f: zeros_m.clone(), i: zeros_m.clone(), c: zeros_m.clone(), o: zeros_m };
+        let b = GateVectors {
+            f: Vector::filled(hidden, 100.0),  // forget ~ 1
+            i: Vector::filled(hidden, -100.0), // input ~ 0
+            c: Vector::zeros(hidden),
+            o: Vector::zeros(hidden),
+        };
+        let cell = CellWeights::from_parts(w, u, b);
+        let wx = cell.precompute_wx(&Vector::zeros(2));
+        let c0 = Vector::from(vec![0.7, -0.3, 0.1, 0.9]);
+        let (_, c1) = cell.step(&wx, &Vector::zeros(hidden), &c0);
+        for j in 0..hidden {
+            assert!((c1[j] - c0[j]).abs() < 1e-4, "state leaked at {j}");
+        }
+    }
+
+    #[test]
+    fn output_gate_matches_detailed_step() {
+        let cell = small_cell(4);
+        let mut rng = seeded_rng(5);
+        let x = Vector::from_fn(6, |_| rng.gen_range(-1.0f32..1.0));
+        let h0 = Vector::from_fn(8, |_| rng.gen_range(-1.0f32..1.0));
+        let c0 = Vector::zeros(8);
+        let wx = cell.precompute_wx(&x);
+        let o = cell.output_gate(&wx.o, &h0);
+        let detailed = cell.step_detailed(&wx, &h0, &c0);
+        for j in 0..8 {
+            assert!((o[j] - detailed.gates.o[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn full_mask_equals_exact_step() {
+        let cell = small_cell(6);
+        let mut rng = seeded_rng(7);
+        let x = Vector::from_fn(6, |_| rng.gen_range(-1.0f32..1.0));
+        let h0 = Vector::from_fn(8, |_| rng.gen_range(-1.0f32..1.0));
+        let c0 = Vector::from_fn(8, |_| rng.gen_range(-1.0f32..1.0));
+        let wx = cell.precompute_wx(&x);
+        let o = cell.output_gate(&wx.o, &h0);
+        let (h_masked, c_masked) = cell.step_masked(&wx, &h0, &c0, &o, &[true; 8]);
+        let (h_exact, c_exact) = cell.step(&wx, &h0, &c0);
+        for j in 0..8 {
+            assert!((h_masked[j] - h_exact[j]).abs() < 1e-6);
+            assert!((c_masked[j] - c_exact[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_rows_zero_h_and_c() {
+        let cell = small_cell(8);
+        let mut rng = seeded_rng(9);
+        let x = Vector::from_fn(6, |_| rng.gen_range(-1.0f32..1.0));
+        let h0 = Vector::from_fn(8, |_| rng.gen_range(-1.0f32..1.0));
+        let c0 = Vector::filled(8, 0.5);
+        let wx = cell.precompute_wx(&x);
+        let o = cell.output_gate(&wx.o, &h0);
+        let mut active = [true; 8];
+        active[2] = false;
+        active[5] = false;
+        let (h, c) = cell.step_masked(&wx, &h0, &c0, &o, &active);
+        assert_eq!(h[2], 0.0);
+        assert_eq!(c[2], 0.0);
+        assert_eq!(h[5], 0.0);
+        assert_eq!(c[5], 0.0);
+        assert_ne!(h[0], 0.0);
+    }
+
+    #[test]
+    fn random_output_bias_has_saturated_units() {
+        // The trained-like initialization must produce a sizeable
+        // population of near-zero output gates for DRS to find: the deep
+        // class (~50%) plus the quiet class (~18%).
+        let cell = CellWeights::random(32, 256, &mut seeded_rng(10));
+        let saturated = cell.b.o.iter().filter(|&&b| b < -1.8).count();
+        let frac = saturated as f32 / 256.0;
+        assert!((frac - 0.68).abs() < 0.15, "saturated output-gate fraction {frac}");
+    }
+
+    #[test]
+    fn saturated_units_are_persistently_off() {
+        // Deep-saturated units must keep o_t near zero across inputs of
+        // any magnitude: their W_o/U_o rows are attenuated along with the
+        // bias, so token-scale swings cannot wake them up.
+        let cell = CellWeights::random(32, 128, &mut seeded_rng(20));
+        let mut rng = seeded_rng(21);
+        let deep: Vec<usize> =
+            (0..128).filter(|&j| cell.b.o[j] < -4.0).collect();
+        assert!(deep.len() > 20, "expected a deep-saturated population");
+        for trial in 0..10 {
+            let scale = if trial % 2 == 0 { 4.0 } else { 0.5 };
+            let x = Vector::from_fn(32, |_| scale * rng.gen_range(-1.0f32..1.0));
+            let h = Vector::from_fn(128, |_| rng.gen_range(-1.0f32..1.0));
+            let wx = cell.precompute_wx(&x);
+            let o = cell.output_gate(&wx.o, &h);
+            for &j in &deep {
+                assert!(o[j] < 0.05, "deep unit {j} woke up: o = {}", o[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(small_cell(42), small_cell(42));
+    }
+
+    #[test]
+    fn hard_sigmoid_gates_saturate_exactly_at_the_boundaries() {
+        // The paper's Fig. 7a observation: the hard sigmoid saturates
+        // exactly at the sensitive-area boundaries, so the relevance
+        // analysis is *exact* rather than approximate for it.
+        use tensor::Activation;
+        let cell = small_cell(30).with_gate_activation(Activation::HardSigmoid);
+        assert_eq!(cell.gate_activation(), Activation::HardSigmoid);
+        let wx = GatePreacts {
+            f: Vector::filled(8, 10.0),
+            i: Vector::filled(8, -10.0),
+            c: Vector::zeros(8),
+            o: Vector::filled(8, 10.0),
+        };
+        let step = cell.step_detailed(&wx, &Vector::zeros(8), &Vector::zeros(8));
+        for j in 0..8 {
+            assert_eq!(step.gates.f[j], 1.0, "hard sigmoid must pin at 1");
+            assert_eq!(step.gates.i[j], 0.0, "hard sigmoid must pin at 0");
+        }
+    }
+
+    #[test]
+    fn hard_sigmoid_outputs_stay_bounded() {
+        use tensor::Activation;
+        let cell = small_cell(31).with_gate_activation(Activation::HardSigmoid);
+        let mut rng = seeded_rng(32);
+        let mut h = Vector::zeros(8);
+        let mut c = Vector::zeros(8);
+        for _ in 0..10 {
+            let x = Vector::from_fn(6, |_| rng.gen_range(-2.0f32..2.0));
+            let wx = cell.precompute_wx(&x);
+            let (h2, c2) = cell.step(&wx, &h, &c);
+            h = h2;
+            c = c2;
+            assert!(h.max_abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "U gate shape mismatch")]
+    fn from_parts_validates_shapes() {
+        let w = GateMatrices {
+            f: Matrix::zeros(4, 2),
+            i: Matrix::zeros(4, 2),
+            c: Matrix::zeros(4, 2),
+            o: Matrix::zeros(4, 2),
+        };
+        let u = GateMatrices {
+            f: Matrix::zeros(4, 4),
+            i: Matrix::zeros(4, 3), // wrong
+            c: Matrix::zeros(4, 4),
+            o: Matrix::zeros(4, 4),
+        };
+        let b = GateVectors::zeros(4);
+        CellWeights::from_parts(w, u, b);
+    }
+}

@@ -1,0 +1,161 @@
+//! Model configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned for degenerate model configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfigError(String);
+
+impl fmt::Display for InvalidConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid model configuration: {}", self.0)
+    }
+}
+
+impl Error for InvalidConfigError {}
+
+/// Shape of an LSTM network: the quantities of the paper's Table II.
+///
+/// `hidden_size` sets the weight-matrix size (the united `U_{f,i,c,o}` is
+/// `4·hidden x hidden`), `seq_len` ("Length" in Table II) sets the number
+/// of unrolled cells per layer, and `num_layers` the stack depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Benchmark/application name.
+    pub name: String,
+    /// Input (embedding) dimensionality fed to the first layer.
+    pub input_dim: usize,
+    /// Hidden-state width per layer.
+    pub hidden_size: usize,
+    /// Number of stacked LSTM layers.
+    pub num_layers: usize,
+    /// Unrolled sequence length (cells per layer).
+    pub seq_len: usize,
+    /// Output classes of the task head.
+    pub num_classes: usize,
+}
+
+impl ModelConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    /// Returns [`InvalidConfigError`] if any dimension is zero.
+    pub fn new(
+        name: impl Into<String>,
+        input_dim: usize,
+        hidden_size: usize,
+        num_layers: usize,
+        seq_len: usize,
+        num_classes: usize,
+    ) -> Result<Self, InvalidConfigError> {
+        let name = name.into();
+        for (label, v) in [
+            ("input_dim", input_dim),
+            ("hidden_size", hidden_size),
+            ("num_layers", num_layers),
+            ("seq_len", seq_len),
+            ("num_classes", num_classes),
+        ] {
+            if v == 0 {
+                return Err(InvalidConfigError(format!("{label} must be positive ({name})")));
+            }
+        }
+        Ok(Self { name, input_dim, hidden_size, num_layers, seq_len, num_classes })
+    }
+
+    /// Input dimensionality seen by layer `layer` (the first layer reads
+    /// the embeddings; deeper layers read the previous layer's hidden
+    /// states).
+    pub fn layer_input_dim(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.input_dim
+        } else {
+            self.hidden_size
+        }
+    }
+
+    /// Bytes of the united recurrent matrix `U_{f,i,c,o}` of one layer.
+    pub fn united_u_bytes(&self) -> u64 {
+        4 * self.hidden_size as u64 * self.hidden_size as u64 * 4
+    }
+
+    /// Bytes of the united input matrix `W_{f,i,c,o}` of layer `layer`.
+    pub fn united_w_bytes(&self, layer: usize) -> u64 {
+        4 * self.hidden_size as u64 * self.layer_input_dim(layer) as u64 * 4
+    }
+
+    /// Total weight bytes across all layers (U + W + biases).
+    pub fn total_weight_bytes(&self) -> u64 {
+        (0..self.num_layers)
+            .map(|l| self.united_u_bytes() + self.united_w_bytes(l) + 4 * self.hidden_size as u64 * 4)
+            .sum()
+    }
+
+    /// Returns a copy with a different hidden size (Fig. 17a sweeps).
+    pub fn with_hidden_size(&self, hidden_size: usize) -> Self {
+        Self { hidden_size, name: self.name.clone(), ..*self }
+    }
+
+    /// Returns a copy with a different sequence length (Fig. 17b sweeps).
+    pub fn with_seq_len(&self, seq_len: usize) -> Self {
+        Self { seq_len, name: self.name.clone(), ..*self }
+    }
+}
+
+impl fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: hidden={}, layers={}, length={}, input={}, classes={}",
+            self.name, self.hidden_size, self.num_layers, self.seq_len, self.input_dim, self.num_classes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config_constructs() {
+        let c = ModelConfig::new("ptb", 650, 650, 3, 200, 10).unwrap();
+        assert_eq!(c.hidden_size, 650);
+        assert_eq!(c.layer_input_dim(0), 650);
+        assert_eq!(c.layer_input_dim(2), 650);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(ModelConfig::new("bad", 0, 1, 1, 1, 1).is_err());
+        assert!(ModelConfig::new("bad", 1, 1, 0, 1, 1).is_err());
+        let err = ModelConfig::new("bad", 1, 1, 1, 0, 1).unwrap_err();
+        assert!(err.to_string().contains("seq_len"));
+    }
+
+    #[test]
+    fn united_matrix_sizes() {
+        let c = ModelConfig::new("imdb", 128, 512, 3, 80, 2).unwrap();
+        // 4 * 512 * 512 * 4 bytes = 4 MiB.
+        assert_eq!(c.united_u_bytes(), 4 * 512 * 512 * 4);
+        assert_eq!(c.united_w_bytes(0), 4 * 512 * 128 * 4);
+        assert_eq!(c.united_w_bytes(1), 4 * 512 * 512 * 4);
+        assert!(c.total_weight_bytes() > 3 * c.united_u_bytes());
+    }
+
+    #[test]
+    fn capacity_sweep_helpers() {
+        let c = ModelConfig::new("babi", 256, 256, 3, 86, 20).unwrap();
+        assert_eq!(c.with_hidden_size(512).hidden_size, 512);
+        assert_eq!(c.with_hidden_size(512).seq_len, 86);
+        assert_eq!(c.with_seq_len(160).seq_len, 160);
+        assert_eq!(c.with_seq_len(160).name, "babi");
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let c = ModelConfig::new("mr", 256, 256, 1, 22, 2).unwrap();
+        let s = c.to_string();
+        assert!(s.contains("mr") && s.contains("hidden=256") && s.contains("length=22"));
+    }
+}

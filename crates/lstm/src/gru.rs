@@ -1,0 +1,265 @@
+//! Gated Recurrent Unit (GRU) cells and layers.
+//!
+//! The paper focuses on LSTMs but notes (Sec. II-B) that "the proposed
+//! methods can also be applied to GRUs with simple adjustment". This module
+//! provides that adjustment target: GRU weights, the exact step, and a
+//! masked step in the spirit of Dynamic Row Skip — for a GRU, a unit whose
+//! update gate `z_t` is near zero keeps its previous hidden value, so the
+//! candidate-state rows for those units can be skipped.
+
+use rand::Rng;
+use tensor::gemm::{sgemv, sgemv_masked};
+use tensor::init::{GateBiasInit, RowScaledInit};
+use tensor::{sigmoid, tanh, Matrix, Vector};
+
+/// Per-layer GRU weights.
+///
+/// Gates follow the standard formulation:
+/// `r = σ(W_r x + U_r h + b_r)`, `z = σ(W_z x + U_z h + b_z)`,
+/// `h̃ = tanh(W_h x + U_h (r ⊙ h) + b_h)`, `h' = (1-z) ⊙ h + z ⊙ h̃`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruWeights {
+    /// Reset-gate input/recurrent/bias.
+    pub w_r: Matrix,
+    /// Update-gate input weights.
+    pub w_z: Matrix,
+    /// Candidate input weights.
+    pub w_h: Matrix,
+    /// Reset-gate recurrent weights.
+    pub u_r: Matrix,
+    /// Update-gate recurrent weights.
+    pub u_z: Matrix,
+    /// Candidate recurrent weights.
+    pub u_h: Matrix,
+    /// Reset-gate bias.
+    pub b_r: Vector,
+    /// Update-gate bias.
+    pub b_z: Vector,
+    /// Candidate bias.
+    pub b_h: Vector,
+    hidden: usize,
+    input: usize,
+}
+
+impl GruWeights {
+    /// Samples trained-like GRU weights; a fraction of update gates are
+    /// biased strongly negative (mostly-copy units — the GRU analogue of
+    /// the LSTM's saturated output gates).
+    pub fn random(input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        let rec = RowScaledInit::default();
+        let xavier = |rng: &mut dyn rand::RngCore| tensor::init::xavier_uniform(rng, hidden, input);
+        let plain = GateBiasInit {
+            saturated_frac: 0.0,
+            regular_mean: 0.0,
+            regular_std: 0.3,
+            ..GateBiasInit::default()
+        };
+        let update = GateBiasInit { saturated_frac: 0.35, ..GateBiasInit::default() };
+        Self {
+            w_r: xavier(rng),
+            w_z: xavier(rng),
+            w_h: xavier(rng),
+            u_r: rec.sample(rng, hidden, hidden),
+            u_z: rec.sample(rng, hidden, hidden),
+            u_h: rec.sample(rng, hidden, hidden),
+            b_r: plain.sample(rng, hidden),
+            b_z: update.sample(rng, hidden),
+            b_h: plain.sample(rng, hidden),
+            hidden,
+            input,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input
+    }
+
+    /// Bytes of the united recurrent matrix `U_{r,z,h}`.
+    pub fn united_u_bytes(&self) -> u64 {
+        3 * self.hidden as u64 * self.hidden as u64 * 4
+    }
+
+    /// The update gate `z_t` alone (computed first in the DRS-adapted
+    /// flow, mirroring Algorithm 3 lines 4–5).
+    pub fn update_gate(&self, x: &Vector, h_prev: &Vector) -> Vector {
+        let wz = sgemv(&self.w_z, x);
+        let uz = sgemv(&self.u_z, h_prev);
+        Vector::from_fn(self.hidden, |j| sigmoid(wz[j] + uz[j] + self.b_z[j]))
+    }
+
+    /// One exact GRU step.
+    pub fn step(&self, x: &Vector, h_prev: &Vector) -> Vector {
+        let wr = sgemv(&self.w_r, x);
+        let ur = sgemv(&self.u_r, h_prev);
+        let z = self.update_gate(x, h_prev);
+        let r = Vector::from_fn(self.hidden, |j| sigmoid(wr[j] + ur[j] + self.b_r[j]));
+        let rh = r.hadamard(h_prev);
+        let wh = sgemv(&self.w_h, x);
+        let uh = sgemv(&self.u_h, &rh);
+        Vector::from_fn(self.hidden, |j| {
+            let cand = tanh(wh[j] + uh[j] + self.b_h[j]);
+            (1.0 - z[j]) * h_prev[j] + z[j] * cand
+        })
+    }
+
+    /// The DRS-adapted GRU step: units where `active[j]` is `false`
+    /// (near-zero update gate) skip their reset/candidate rows and copy the
+    /// previous hidden value through.
+    ///
+    /// `z` must be the update gate from [`Self::update_gate`].
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn step_masked(&self, x: &Vector, h_prev: &Vector, z: &Vector, active: &[bool]) -> Vector {
+        assert_eq!(active.len(), self.hidden, "mask length mismatch");
+        assert_eq!(z.len(), self.hidden, "update-gate length mismatch");
+        let wr = sgemv(&self.w_r, x);
+        let ur = sgemv_masked(&self.u_r, h_prev, active, 0.0);
+        let r = Vector::from_fn(self.hidden, |j| {
+            if active[j] {
+                sigmoid(wr[j] + ur[j] + self.b_r[j])
+            } else {
+                0.0
+            }
+        });
+        let rh = r.hadamard(h_prev);
+        let wh = sgemv(&self.w_h, x);
+        let uh = sgemv_masked(&self.u_h, &rh, active, 0.0);
+        Vector::from_fn(self.hidden, |j| {
+            if active[j] {
+                let cand = tanh(wh[j] + uh[j] + self.b_h[j]);
+                (1.0 - z[j]) * h_prev[j] + z[j] * cand
+            } else {
+                // Near-zero update gate: the unit copies its history.
+                h_prev[j]
+            }
+        })
+    }
+}
+
+/// An unrolled GRU layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruLayer {
+    weights: GruWeights,
+}
+
+impl GruLayer {
+    /// Wraps weights into a layer.
+    pub fn new(weights: GruWeights) -> Self {
+        Self { weights }
+    }
+
+    /// The layer weights.
+    pub fn weights(&self) -> &GruWeights {
+        &self.weights
+    }
+
+    /// Executes the layer exactly over `xs` from `h0`.
+    pub fn forward(&self, xs: &[Vector], h0: &Vector) -> Vec<Vector> {
+        let mut h = h0.clone();
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            h = self.weights.step(x, &h);
+            out.push(h.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::init::seeded_rng;
+
+    fn weights(seed: u64) -> GruWeights {
+        GruWeights::random(5, 8, &mut seeded_rng(seed))
+    }
+
+    fn vec_of(len: usize, seed: u64) -> Vector {
+        let mut rng = seeded_rng(seed);
+        Vector::from_fn(len, |_| rng.gen_range(-1.0f32..1.0))
+    }
+
+    #[test]
+    fn shapes_and_sizes() {
+        let w = weights(1);
+        assert_eq!(w.hidden(), 8);
+        assert_eq!(w.input_dim(), 5);
+        assert_eq!(w.united_u_bytes(), 3 * 8 * 8 * 4);
+    }
+
+    #[test]
+    fn hidden_state_stays_bounded() {
+        let w = weights(2);
+        let mut h = Vector::zeros(8);
+        for s in 0..20 {
+            h = w.step(&vec_of(5, s), &h);
+            assert!(h.max_abs() <= 1.0, "GRU h escaped [-1,1]");
+        }
+    }
+
+    #[test]
+    fn zero_update_gate_copies_history() {
+        // With z ~ 0 the unit must keep its previous value — the property
+        // the masked step exploits.
+        let w = weights(3);
+        let h_prev = vec_of(8, 4);
+        let x = vec_of(5, 5);
+        let z = w.update_gate(&x, &h_prev);
+        let h_next = w.step(&x, &h_prev);
+        for j in 0..8 {
+            if z[j] < 0.01 {
+                assert!((h_next[j] - h_prev[j]).abs() < 0.03);
+            }
+        }
+    }
+
+    #[test]
+    fn full_mask_matches_exact_step() {
+        let w = weights(6);
+        let h_prev = vec_of(8, 7);
+        let x = vec_of(5, 8);
+        let z = w.update_gate(&x, &h_prev);
+        let exact = w.step(&x, &h_prev);
+        let masked = w.step_masked(&x, &h_prev, &z, &[true; 8]);
+        for j in 0..8 {
+            assert!((exact[j] - masked[j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn masked_units_copy_previous_value() {
+        let w = weights(9);
+        let h_prev = vec_of(8, 10);
+        let x = vec_of(5, 11);
+        let z = w.update_gate(&x, &h_prev);
+        let mut active = [true; 8];
+        active[1] = false;
+        active[6] = false;
+        let h = w.step_masked(&x, &h_prev, &z, &active);
+        assert_eq!(h[1], h_prev[1]);
+        assert_eq!(h[6], h_prev[6]);
+    }
+
+    #[test]
+    fn layer_forward_length() {
+        let layer = GruLayer::new(weights(12));
+        let xs: Vec<Vector> = (0..6).map(|s| vec_of(5, 100 + s)).collect();
+        let out = layer.forward(&xs, &Vector::zeros(8));
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn update_gate_population_has_saturated_units() {
+        let w = GruWeights::random(16, 200, &mut seeded_rng(13));
+        let z = w.update_gate(&vec_of(16, 14), &Vector::zeros(200));
+        let closed = z.iter().filter(|&&v| v < 0.05).count();
+        assert!(closed > 20, "too few mostly-copy units: {closed}");
+    }
+}

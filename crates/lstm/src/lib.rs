@@ -1,0 +1,58 @@
+//! LSTM/GRU inference engine with cuDNN-style kernel scheduling.
+//!
+//! This crate is the substitute for the paper's PyTorch + cuDNN software
+//! stack: it executes real `f32` LSTM arithmetic (Eqs. 1–5) on the CPU
+//! while simultaneously emitting the kernel trace — `Sgemm(W, x)` per
+//! layer, `Sgemv(U, h_{t-1})` + `lstm_ew` per cell (Algorithm 1) — that the
+//! `gpu-sim` crate prices on the modelled Tegra X1.
+//!
+//! The optimized executors (layer reorganization, Dynamic Row Skip) live in
+//! the `memlstm` crate and reuse the cell math, region allocation and
+//! kernel-cost helpers defined here.
+//!
+//! # Example
+//!
+//! ```
+//! use lstm::{BaselineExecutor, LstmNetwork, ModelConfig};
+//! use tensor::init::seeded_rng;
+//!
+//! let config = ModelConfig::new("tiny", 8, 16, 1, 4, 2).unwrap();
+//! let mut rng = seeded_rng(0);
+//! let net = LstmNetwork::random(&config, &mut rng);
+//! let xs = lstm::random_inputs(&config, &mut rng);
+//! let run = BaselineExecutor::new(&net).run(&xs);
+//! assert_eq!(run.logits.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod config;
+pub mod gru;
+pub mod gru_exec;
+pub mod layer;
+pub mod network;
+pub mod regions;
+pub mod schedule;
+
+pub use cell::{CellWeights, GatePreacts, GateVectors};
+pub use config::ModelConfig;
+pub use gru::{GruLayer, GruWeights};
+pub use gru_exec::{GruBaselineExecutor, GruNetwork};
+pub use layer::{LayerState, LstmLayer};
+pub use network::{LstmNetwork, NetworkOutput};
+pub use regions::{LayerRegions, RegionAllocator};
+pub use schedule::{BaselineExecutor, LayerRun, NetworkRun};
+
+use rand::Rng;
+use tensor::Vector;
+
+/// Samples a random input sequence (`seq_len` vectors of `input_dim`) with
+/// activations in `[-1, 1]`, the range layer inputs occupy after an
+/// embedding + tanh front-end.
+pub fn random_inputs(config: &ModelConfig, rng: &mut impl Rng) -> Vec<Vector> {
+    (0..config.seq_len)
+        .map(|_| Vector::from_fn(config.input_dim, |_| rng.gen_range(-1.0f32..=1.0)))
+        .collect()
+}

@@ -1,0 +1,135 @@
+//! Global-memory region bookkeeping for the simulator.
+//!
+//! Weight matrices are long-lived regions whose reuse (or lack of it — the
+//! paper's redundant-reload problem) the L2 model tracks; activation
+//! buffers are transient and get fresh ids so they never alias.
+
+use gpu_sim::{GpuDevice, RegionId};
+
+/// Allocates unique region ids.
+#[derive(Debug, Clone, Default)]
+pub struct RegionAllocator {
+    next: u64,
+}
+
+impl RegionAllocator {
+    /// Creates an allocator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh, never-before-issued region id.
+    pub fn fresh(&mut self) -> RegionId {
+        let id = RegionId::new(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// The persistent weight regions of one LSTM layer.
+///
+/// `u_o` and `u_fic` are the two slices Algorithm 3 splits the united
+/// matrix into; they are distinct regions because the DRS flow streams them
+/// in separate kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerRegions {
+    /// The united recurrent matrix `U_{f,i,c,o}`.
+    pub u_full: RegionId,
+    /// The `U_o` slice (Algorithm 3 line 4).
+    pub u_o: RegionId,
+    /// The `U_{f,i,c}` slice (Algorithm 3 line 7).
+    pub u_fic: RegionId,
+    /// The united input matrix `W_{f,i,c,o}`.
+    pub w: RegionId,
+    /// Bias vectors.
+    pub bias: RegionId,
+}
+
+impl LayerRegions {
+    /// Allocates the layer's regions.
+    pub fn allocate(alloc: &mut RegionAllocator) -> Self {
+        Self {
+            u_full: alloc.fresh(),
+            u_o: alloc.fresh(),
+            u_fic: alloc.fresh(),
+            w: alloc.fresh(),
+            bias: alloc.fresh(),
+        }
+    }
+}
+
+/// All persistent regions of a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkRegions {
+    /// Per-layer weight regions.
+    pub layers: Vec<LayerRegions>,
+    /// Classifier-head weights.
+    pub head: RegionId,
+}
+
+impl NetworkRegions {
+    /// Allocates regions for `num_layers` layers plus the head.
+    pub fn allocate(alloc: &mut RegionAllocator, num_layers: usize) -> Self {
+        Self {
+            layers: (0..num_layers).map(|_| LayerRegions::allocate(alloc)).collect(),
+            head: alloc.fresh(),
+        }
+    }
+
+    /// Declares every weight region's nominal size on a device so it can
+    /// report reload factors (paper Sec. III-A).
+    pub fn declare_on(
+        &self,
+        device: &mut GpuDevice,
+        u_bytes: impl Fn(usize) -> u64,
+        w_bytes: impl Fn(usize) -> u64,
+    ) {
+        for (l, regions) in self.layers.iter().enumerate() {
+            device.declare_region(regions.u_full, u_bytes(l));
+            device.declare_region(regions.u_o, u_bytes(l) / 4);
+            device.declare_region(regions.u_fic, 3 * u_bytes(l) / 4);
+            device.declare_region(regions.w, w_bytes(l));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_issues_unique_ids() {
+        let mut alloc = RegionAllocator::new();
+        let a = alloc.fresh();
+        let b = alloc.fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn network_regions_are_distinct() {
+        let mut alloc = RegionAllocator::new();
+        let regions = NetworkRegions::allocate(&mut alloc, 3);
+        assert_eq!(regions.layers.len(), 3);
+        let mut all: Vec<RegionId> = regions
+            .layers
+            .iter()
+            .flat_map(|l| [l.u_full, l.u_o, l.u_fic, l.w, l.bias])
+            .collect();
+        all.push(regions.head);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len(), "region ids must be unique");
+    }
+
+    #[test]
+    fn declare_on_registers_sizes() {
+        let mut alloc = RegionAllocator::new();
+        let regions = NetworkRegions::allocate(&mut alloc, 1);
+        let mut dev = GpuDevice::new(gpu_sim::GpuConfig::tegra_x1());
+        regions.declare_on(&mut dev, |_| 4096, |_| 2048);
+        // Reload factor of an untouched declared region is 0.
+        assert_eq!(dev.reload_factor(regions.layers[0].u_full), Some(0.0));
+        assert_eq!(dev.reload_factor(regions.layers[0].w), Some(0.0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Weak-context-link (breakpoint) search.
+//!
+//! Each link's relevance `S` (Algorithm 2) is compared against the
+//! relevance threshold `α_inter`; links with `S <= α_inter` are selected
+//! as breakpoints (paper Sec. IV-B, "Breakpoints Search").
+
+/// Returns the sorted cell indices `t` whose incoming link (from cell
+/// `t-1`) is weak: `relevances[t] < alpha_inter` (strictly lower, per the
+/// paper's "if S is lower than the threshold" — so `alpha_inter = 0` is
+/// the exact baseline and any positive threshold already breaks the
+/// totally-irrelevant `S = 0` links).
+///
+/// `relevances[0]` is expected to be infinite (cell 0 has no incoming
+/// link) and can never be selected.
+pub fn find_breakpoints(relevances: &[f64], alpha_inter: f64) -> Vec<usize> {
+    relevances
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, &s)| s < alpha_inter)
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// The candidate thresholds that change the breakpoint set: the sorted,
+/// deduplicated finite relevance values. Binary-searching over these finds
+/// the α_inter upper limit of Fig. 10 step 2.
+pub fn candidate_thresholds(relevances: &[f64]) -> Vec<f64> {
+    let mut finite: Vec<f64> = relevances.iter().copied().filter(|s| s.is_finite()).collect();
+    finite.sort_by(f64::total_cmp);
+    finite.dedup();
+    finite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INF: f64 = f64::INFINITY;
+
+    #[test]
+    fn selects_links_strictly_below_threshold() {
+        let rel = [INF, 5.0, 1.0, 3.0, 0.5];
+        assert_eq!(find_breakpoints(&rel, 1.0), vec![4]);
+        assert_eq!(find_breakpoints(&rel, 1.1), vec![2, 4]);
+        assert_eq!(find_breakpoints(&rel, 100.0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_threshold_is_exact_baseline() {
+        // Even totally-irrelevant (S = 0) links stay intact at alpha = 0.
+        let rel = [INF, 0.0, 3.0];
+        assert_eq!(find_breakpoints(&rel, 0.0), Vec::<usize>::new());
+        // Any positive threshold breaks them.
+        assert_eq!(find_breakpoints(&rel, 1e-9), vec![1]);
+    }
+
+    #[test]
+    fn first_cell_never_selected() {
+        let rel = [INF, 0.0];
+        assert_eq!(find_breakpoints(&rel, INF), vec![1]);
+    }
+
+    #[test]
+    fn monotone_in_threshold() {
+        let rel = [INF, 4.0, 2.0, 8.0, 1.0, 6.0];
+        let mut prev = 0usize;
+        for alpha in [0.0, 1.0, 2.0, 4.0, 6.0, 8.0] {
+            let n = find_breakpoints(&rel, alpha).len();
+            assert!(n >= prev, "breakpoint count must grow with alpha");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_unique() {
+        let rel = [INF, 3.0, 1.0, 3.0, 2.0];
+        assert_eq!(candidate_thresholds(&rel), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_breakpoints() {
+        assert!(find_breakpoints(&[], 1.0).is_empty());
+        assert!(candidate_thresholds(&[]).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! LSTM layer division (paper Sec. IV-B, Fig. 8a).
+//!
+//! Breaking the weak links partitions the unrolled layer into contiguous,
+//! mutually-independent *sub-layers*; the lost link at the head of each
+//! sub-layer (except the first) is replaced by the predicted context link.
+
+/// A contiguous run of cells forming an independent sub-layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubLayer {
+    /// Global timestep of the first cell.
+    pub start: usize,
+    /// Number of cells.
+    pub len: usize,
+}
+
+impl SubLayer {
+    /// Global timestep of the cell at position `pos` within the sub-layer.
+    ///
+    /// # Panics
+    /// Panics if `pos >= len`.
+    pub fn cell(&self, pos: usize) -> usize {
+        assert!(pos < self.len, "cell position out of range");
+        self.start + pos
+    }
+
+    /// Iterates the sub-layer's global timesteps.
+    pub fn cells(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// Divides a layer of `seq_len` cells at the given breakpoints (sorted
+/// cell indices whose incoming link is broken).
+///
+/// # Panics
+/// Panics if a breakpoint is 0, out of range, unsorted, or duplicated.
+pub fn divide(seq_len: usize, breakpoints: &[usize]) -> Vec<SubLayer> {
+    if seq_len == 0 {
+        return Vec::new();
+    }
+    let mut start = 0usize;
+    let mut out = Vec::with_capacity(breakpoints.len() + 1);
+    for &bp in breakpoints {
+        assert!(bp > start, "breakpoints must be sorted, unique, and non-zero");
+        assert!(bp < seq_len, "breakpoint {bp} out of range for seq_len {seq_len}");
+        out.push(SubLayer { start, len: bp - start });
+        start = bp;
+    }
+    out.push(SubLayer { start, len: seq_len - start });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_breakpoints_single_sublayer() {
+        let subs = divide(10, &[]);
+        assert_eq!(subs, vec![SubLayer { start: 0, len: 10 }]);
+    }
+
+    #[test]
+    fn figure_8_example() {
+        // Fig. 8(a1): cells 0..9 divided into {0,1,2}, {3}, {4,5,6}, {7,8}
+        // by breakpoints at 3, 4, 7 (with seq_len 9).
+        let subs = divide(9, &[3, 4, 7]);
+        assert_eq!(
+            subs,
+            vec![
+                SubLayer { start: 0, len: 3 },
+                SubLayer { start: 3, len: 1 },
+                SubLayer { start: 4, len: 3 },
+                SubLayer { start: 7, len: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn sublayers_cover_layer_exactly() {
+        let subs = divide(20, &[5, 6, 13]);
+        let total: usize = subs.iter().map(|s| s.len).sum();
+        assert_eq!(total, 20);
+        let mut next = 0;
+        for s in &subs {
+            assert_eq!(s.start, next);
+            next += s.len;
+        }
+    }
+
+    #[test]
+    fn cell_indexing() {
+        let s = SubLayer { start: 4, len: 3 };
+        assert_eq!(s.cell(0), 4);
+        assert_eq!(s.cell(2), 6);
+        assert_eq!(s.cells().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cell_out_of_range_panics() {
+        SubLayer { start: 0, len: 2 }.cell(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted, unique, and non-zero")]
+    fn unsorted_breakpoints_panic() {
+        divide(10, &[5, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn breakpoint_beyond_layer_panics() {
+        divide(5, &[5]);
+    }
+
+    #[test]
+    fn empty_layer() {
+        assert!(divide(0, &[]).is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! The Dynamic-Row-Skip adaptation for GRUs (paper Sec. II-B: the
+//! proposed methods "can also be applied to GRUs with simple adjustment").
+//!
+//! The adjustment: a GRU's output is gated by the update gate —
+//! `h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ h̃_t` — so a near-zero element of
+//! `z_t` makes the unit copy its history regardless of the candidate.
+//! The reordered flow computes `z_t` first (`Sgemv(U_z, h)`), thresholds
+//! it, and skips the corresponding rows of `U_r` and `U_h` (two thirds of
+//! the united matrix).
+
+use crate::drs::{skip_cost, trivial_row_mask, DrsConfig};
+use gpu_sim::{KernelDesc, KernelKind};
+use lstm::gru_exec::GruNetwork;
+use lstm::regions::{NetworkRegions, RegionAllocator};
+use lstm::schedule::{drs_kernel, ew_kernel, head_kernel, u_sgemv_kernel, wx_sgemm_kernel, LayerRun, NetworkRun, F32};
+use tensor::Vector;
+
+/// GRU executor with update-gate-driven row skipping.
+#[derive(Debug, Clone)]
+pub struct GruDrsExecutor<'a> {
+    net: &'a GruNetwork,
+    config: DrsConfig,
+}
+
+impl<'a> GruDrsExecutor<'a> {
+    /// Creates the executor.
+    pub fn new(net: &'a GruNetwork, config: DrsConfig) -> Self {
+        Self { net, config }
+    }
+
+    /// Runs `xs`, producing numbers, the kernel trace, and the mean skip
+    /// fraction.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty.
+    pub fn run(&self, xs: &[Vector]) -> (NetworkRun, f64) {
+        assert!(!xs.is_empty(), "GruDrsExecutor::run: empty input");
+        let hidden = self.net.hidden();
+        let num_layers = self.net.layers().len();
+        let mut alloc = RegionAllocator::new();
+        let regions = NetworkRegions::allocate(&mut alloc, num_layers);
+        let mut layers = Vec::with_capacity(num_layers);
+        let mut current = xs.to_vec();
+        let mut skip_sum = 0.0f64;
+        let mut skip_count = 0usize;
+        for (l, layer) in self.net.layers().iter().enumerate() {
+            let weights = layer.weights();
+            let mut trace: Vec<KernelDesc> = Vec::new();
+            let mut wx = wx_sgemm_kernel(
+                l,
+                regions.layers[l].w,
+                hidden,
+                weights.input_dim(),
+                current.len(),
+                &mut alloc,
+            );
+            wx.label = format!("Sgemm(W_rzh,x) layer{l}");
+            wx.flops = wx.flops * 3 / 4;
+            trace.push(wx);
+
+            let mut h = Vector::zeros(hidden);
+            let mut hs = Vec::with_capacity(current.len());
+            for (t, x) in current.iter().enumerate() {
+                // Step 1: the update gate alone (U_z slice).
+                trace.push(u_sgemv_kernel(
+                    format!("Sgemv(U_z,h) l{l} t{t}"),
+                    regions.layers[l].u_o,
+                    hidden,
+                    hidden,
+                    &mut alloc,
+                ));
+                let z = weights.update_gate(x, &h);
+                // Step 2: threshold into the skip list.
+                trace.push(drs_kernel(format!("DRS l{l} t{t}"), hidden, &mut alloc));
+                let active = trivial_row_mask(&z, self.config.alpha_intra);
+                let frac = crate::drs::skip_fraction(&active);
+                skip_sum += frac;
+                skip_count += 1;
+                // Step 3: the masked U_{r,h} GEMV (two gates).
+                let active_rows = active.iter().filter(|&&a| a).count() as u64;
+                let cost = skip_cost(self.config.mode, frac);
+                let h64 = hidden as u64;
+                trace.push(
+                    KernelDesc::builder(format!("Sgemv(U_rh,h,R) l{l} t{t}"), KernelKind::Sgemv)
+                        .flops(2 * 2 * active_rows * h64)
+                        .read(regions.layers[l].u_fic, 2 * active_rows * h64 * F32)
+                        .read(alloc.fresh(), h64 * F32)
+                        .write(alloc.fresh(), 2 * h64 * F32)
+                        .smem(2 * active_rows * h64 * F32)
+                        .threads(2 * h64, 256)
+                        .divergence(cost.divergence)
+                        .dram_derate(cost.dram_derate)
+                        .skips(2 * (h64 - active_rows), cost.uses_crm)
+                        .build(),
+                );
+                trace.push(ew_kernel(format!("gru_ew l{l} t{t}"), hidden, 1, &mut alloc));
+                h = weights.step_masked(x, &h, &z, &active);
+                hs.push(h.clone());
+            }
+            current = hs.clone();
+            layers.push(LayerRun { hs, trace });
+        }
+        let logits = self.net.apply_head(current.last().expect("non-empty"));
+        let tail_trace = vec![head_kernel(regions.head, logits.len(), hidden, &mut alloc)];
+        let mean_skip = if skip_count > 0 { skip_sum / skip_count as f64 } else { 0.0 };
+        (NetworkRun { layers, logits, tail_trace, regions }, mean_skip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drs::DrsMode;
+    use gpu_sim::{GpuConfig, GpuDevice};
+    use lstm::gru_exec::GruBaselineExecutor;
+    use rand::Rng;
+    use tensor::init::seeded_rng;
+
+    fn setup() -> (GruNetwork, Vec<Vector>) {
+        let mut rng = seeded_rng(8);
+        // Hidden width large enough that the united matrix does not fit in
+        // the L2 (the realistic regime where DRS traffic savings show).
+        let net = GruNetwork::random(24, 256, 1, 3, &mut rng);
+        let xs: Vec<Vector> =
+            (0..8).map(|_| Vector::from_fn(24, |_| rng.gen_range(-1.0f32..1.0))).collect();
+        (net, xs)
+    }
+
+    #[test]
+    fn zero_alpha_matches_exact() {
+        let (net, xs) = setup();
+        let exec = GruDrsExecutor::new(&net, DrsConfig { alpha_intra: 0.0, mode: DrsMode::Hardware });
+        let (run, skip) = exec.run(&xs);
+        let (_, logits) = net.forward(&xs);
+        assert_eq!(skip, 0.0);
+        for (a, b) in run.logits.iter().zip(logits.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn skipping_reduces_simulated_time() {
+        let (net, xs) = setup();
+        let mut device = GpuDevice::new(GpuConfig::tegra_x1());
+        let base = device.run_trace(GruBaselineExecutor::new(&net).run(&xs).trace());
+        let exec = GruDrsExecutor::new(&net, DrsConfig { alpha_intra: 0.08, mode: DrsMode::Hardware });
+        let (run, skip) = exec.run(&xs);
+        device.reset();
+        let opt = device.run_trace(run.trace());
+        assert!(skip > 0.1, "no rows skipped: {skip}");
+        assert!(opt.dram_read_bytes < base.dram_read_bytes);
+    }
+
+    #[test]
+    fn skipped_units_copy_history() {
+        let (net, xs) = setup();
+        let exec = GruDrsExecutor::new(&net, DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware });
+        let (run, _) = exec.run(&xs);
+        let (outputs, _) = net.forward(&xs);
+        // Bounded divergence from the exact trajectory.
+        let last_exact = outputs.last().unwrap().last().unwrap();
+        let last_opt = run.layers.last().unwrap().hs.last().unwrap();
+        assert!(last_exact.sub(last_opt).max_abs() < 0.4);
+    }
+
+    #[test]
+    fn skip_fraction_grows_with_alpha() {
+        let (net, xs) = setup();
+        let skip_at = |alpha: f32| {
+            GruDrsExecutor::new(&net, DrsConfig { alpha_intra: alpha, mode: DrsMode::Hardware })
+                .run(&xs)
+                .1
+        };
+        assert!(skip_at(0.15) >= skip_at(0.03));
+    }
+}

@@ -1,0 +1,148 @@
+//! Maximum-tissue-size (MTS) determination (paper Sec. IV-C/D, Fig. 9).
+//!
+//! The offline phase (Fig. 10 step 1) sweeps the tissue size on the target
+//! GPU: per-cell time first falls (the united weight matrix amortizes over
+//! more cells) and then rises once the on-chip bandwidth saturates and the
+//! kernel must be re-configured. The minimizing size is the MTS.
+
+use gpu_sim::{GpuConfig, GpuDevice, KernelKind};
+use lstm::regions::RegionAllocator;
+use lstm::schedule::{ew_kernel, tissue_sgemm_kernel};
+
+/// One point of the tissue-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MtsSample {
+    /// Tissue size evaluated.
+    pub tissue_size: usize,
+    /// Simulated time per cell (tissue time / tissue size), seconds.
+    pub time_per_cell_s: f64,
+    /// On-chip (shared-memory) bandwidth utilization during the tissue
+    /// kernel, in `[0, 1]`.
+    pub smem_utilization: f64,
+    /// Whether the kernel had to be re-configured (on-chip ceiling hit).
+    pub reconfigured: bool,
+}
+
+/// Result of the MTS sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtsResult {
+    /// The maximum tissue size: the sweep's per-cell-time minimizer.
+    pub mts: usize,
+    /// The full sweep (Fig. 9's x-axis).
+    pub samples: Vec<MtsSample>,
+}
+
+impl MtsResult {
+    /// Normalized performance (baseline tissue size 1 = 1.0) per sample —
+    /// the paper's Fig. 9 y-axis.
+    pub fn normalized_performance(&self) -> Vec<(usize, f64)> {
+        let base = self.samples.first().map_or(1.0, |s| s.time_per_cell_s);
+        self.samples.iter().map(|s| (s.tissue_size, base / s.time_per_cell_s)).collect()
+    }
+}
+
+/// Sweeps tissue sizes `1..=max_size` for a layer of the given hidden
+/// width on `config`, returning the per-cell-time minimizer.
+///
+/// The sweep simulates a steady-state tissue: one `Sgemm(U, H_t)` (with a
+/// cold cache — the united matrix never survives the L2 between tissues at
+/// realistic sizes) plus the batched element-wise kernel.
+///
+/// # Panics
+/// Panics if `max_size == 0`.
+pub fn determine_mts(config: &GpuConfig, hidden: usize, max_size: usize) -> MtsResult {
+    assert!(max_size > 0, "determine_mts: max_size must be positive");
+    let mut samples = Vec::with_capacity(max_size);
+    for t in 1..=max_size {
+        let mut device = GpuDevice::new(config.clone());
+        let mut alloc = RegionAllocator::new();
+        let u_region = alloc.fresh();
+        // Simulate a few consecutive tissues so cache state is steady.
+        let mut trace = Vec::new();
+        const TISSUES: usize = 4;
+        for k in 0..TISSUES {
+            trace.push(tissue_sgemm_kernel(
+                format!("Sgemm(U,H) t{k}"),
+                u_region,
+                hidden,
+                t,
+                &mut alloc,
+            ));
+            trace.push(ew_kernel(format!("lstm_ew t{k}"), hidden, t, &mut alloc));
+        }
+        let report = device.run_trace(&trace);
+        let reconfigured = {
+            // Re-run the first kernel on a fresh device to inspect flags.
+            let mut probe = GpuDevice::new(config.clone());
+            probe.launch(&trace[0]).reconfigured
+        };
+        samples.push(MtsSample {
+            tissue_size: t,
+            time_per_cell_s: report.time_s / (TISSUES * t) as f64,
+            smem_utilization: report.smem_utilization_of(KernelKind::Sgemm),
+            reconfigured,
+        });
+    }
+    let mts = samples
+        .iter()
+        .min_by(|a, b| a.time_per_cell_s.total_cmp(&b.time_per_cell_s))
+        .map(|s| s.tissue_size)
+        .unwrap_or(1);
+    MtsResult { mts, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mts_lands_in_paper_range_for_table_2_sizes() {
+        // Paper Fig. 9: MTS is 5-6 on the TX1 across the benchmarks.
+        let cfg = GpuConfig::tegra_x1();
+        for hidden in [256usize, 300, 512, 650] {
+            let result = determine_mts(&cfg, hidden, 10);
+            assert!(
+                (4..=7).contains(&result.mts),
+                "hidden {hidden}: MTS {} out of expected range",
+                result.mts
+            );
+        }
+    }
+
+    #[test]
+    fn performance_rises_then_falls() {
+        let cfg = GpuConfig::tegra_x1();
+        let result = determine_mts(&cfg, 512, 10);
+        let perf = result.normalized_performance();
+        // Performance at MTS strictly better than at 1 and than at 10.
+        let at = |t: usize| perf.iter().find(|(s, _)| *s == t).unwrap().1;
+        assert!(at(result.mts) > 1.5, "speedup at MTS = {}", at(result.mts));
+        assert!(at(result.mts) > at(10), "no droop past MTS");
+    }
+
+    #[test]
+    fn smem_utilization_grows_with_tissue_size() {
+        let cfg = GpuConfig::tegra_x1();
+        let result = determine_mts(&cfg, 512, 8);
+        let first = result.samples.first().unwrap().smem_utilization;
+        let last = result.samples.last().unwrap().smem_utilization;
+        assert!(last > first, "utilization must grow with tissue size");
+        // Near the MTS the on-chip bandwidth approaches saturation (Fig. 9).
+        let at_mts = result.samples[result.mts - 1].smem_utilization;
+        assert!(at_mts > 0.6, "smem utilization at MTS = {at_mts}");
+    }
+
+    #[test]
+    fn oversized_tissues_are_reconfigured() {
+        let cfg = GpuConfig::tegra_x1();
+        let result = determine_mts(&cfg, 512, 10);
+        assert!(result.samples.last().unwrap().reconfigured);
+        assert!(!result.samples.first().unwrap().reconfigured);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_size must be positive")]
+    fn zero_max_panics() {
+        determine_mts(&GpuConfig::tegra_x1(), 64, 0);
+    }
+}

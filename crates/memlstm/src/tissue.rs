@@ -1,0 +1,267 @@
+//! Tissue formation and alignment (paper Sec. IV-C, Fig. 8b).
+//!
+//! Cells from different (independent) sub-layers are fused into *tissues*
+//! that execute concurrently: the per-cell `Sgemv(U, h)` kernels of a
+//! tissue become one `Sgemm(U, H_t)`, loading the united weight matrix
+//! once per tissue. Data dependencies *within* each sub-layer survive as
+//! dependencies *across* tissues, so a valid tissue sequence must schedule
+//! each sub-layer's cells in strictly increasing tissue order.
+
+use crate::division::SubLayer;
+
+/// One tissue: the set of cells (global timesteps) executed concurrently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tissue {
+    /// Global timestep of each member cell, at most one per sub-layer.
+    pub cells: Vec<usize>,
+}
+
+impl Tissue {
+    /// Number of member cells (the *tissue size*).
+    pub fn size(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Naive tissue formation (paper "Tissue Formation"): tissue `k` takes the
+/// `k`-th cell of every sub-layer that still has one. Ignores the MTS, so
+/// it can produce both fat and thin tissues (Fig. 8b1).
+pub fn form_tissues(sublayers: &[SubLayer]) -> Vec<Tissue> {
+    let depth = sublayers.iter().map(|s| s.len).max().unwrap_or(0);
+    (0..depth)
+        .map(|k| Tissue {
+            cells: sublayers.iter().filter(|s| k < s.len).map(|s| s.cell(k)).collect(),
+        })
+        .collect()
+}
+
+/// The paper's tissue alignment: starting from the naive formation, cells
+/// overflowing a fat tissue are moved into the following tissue (Fig. 8b2
+/// moves cells 7 and 8 one tissue later), cascading as needed. Equivalent
+/// formulation: each tissue takes the next unscheduled cell of up to `mts`
+/// sub-layers, scanning sub-layers in index order.
+///
+/// Never breaks a context link and caps every tissue at `mts`.
+///
+/// # Panics
+/// Panics if `mts == 0`.
+pub fn schedule_tissues(sublayers: &[SubLayer], mts: usize) -> Vec<Tissue> {
+    assert!(mts > 0, "schedule_tissues: mts must be positive");
+    schedule_with_order(sublayers, mts, |remaining| {
+        let mut order: Vec<usize> = (0..remaining.len()).filter(|&i| remaining[i] > 0).collect();
+        order.truncate(mts);
+        order
+    })
+}
+
+/// Beyond-paper extension: longest-remaining-sub-layer-first alignment.
+///
+/// The paper's index-order alignment can cascade overflow into a long tail
+/// of singleton tissues when one sub-layer is much longer than the others;
+/// prioritizing the longest remaining chain provably achieves the minimal
+/// tissue count `max(ceil(total / mts), longest_sublayer)`. Used by the
+/// ablation benchmarks.
+///
+/// # Panics
+/// Panics if `mts == 0`.
+pub fn schedule_tissues_balanced(sublayers: &[SubLayer], mts: usize) -> Vec<Tissue> {
+    assert!(mts > 0, "schedule_tissues_balanced: mts must be positive");
+    schedule_with_order(sublayers, mts, |remaining| {
+        let mut order: Vec<usize> = (0..remaining.len()).filter(|&i| remaining[i] > 0).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(remaining[i]));
+        order.truncate(mts);
+        order
+    })
+}
+
+fn schedule_with_order(
+    sublayers: &[SubLayer],
+    _mts: usize,
+    mut pick: impl FnMut(&[usize]) -> Vec<usize>,
+) -> Vec<Tissue> {
+    let mut remaining: Vec<usize> = sublayers.iter().map(|s| s.len).collect();
+    let mut position: Vec<usize> = vec![0; sublayers.len()];
+    let total: usize = remaining.iter().sum();
+    let mut scheduled = 0usize;
+    let mut tissues = Vec::new();
+    while scheduled < total {
+        let chosen = pick(&remaining);
+        debug_assert!(!chosen.is_empty(), "scheduler made no progress");
+        let mut cells: Vec<usize> = chosen
+            .iter()
+            .map(|&i| {
+                let cell = sublayers[i].cell(position[i]);
+                position[i] += 1;
+                remaining[i] -= 1;
+                cell
+            })
+            .collect();
+        cells.sort_unstable();
+        scheduled += cells.len();
+        tissues.push(Tissue { cells });
+    }
+    tissues
+}
+
+/// Lower bound on the tissue count for a division: the Eq. 7 minimum
+/// `ceil(total / mts)` raised to the longest chain length.
+pub fn min_tissue_count(sublayers: &[SubLayer], mts: usize) -> usize {
+    let total: usize = sublayers.iter().map(|s| s.len).sum();
+    let longest = sublayers.iter().map(|s| s.len).max().unwrap_or(0);
+    (total.div_ceil(mts.max(1))).max(longest)
+}
+
+/// Validates the scheduling invariants of a tissue sequence; returns an
+/// error description on violation. Used by tests and by debug assertions
+/// in the executors.
+pub fn validate_schedule(
+    sublayers: &[SubLayer],
+    tissues: &[Tissue],
+    mts: Option<usize>,
+) -> Result<(), String> {
+    let total: usize = sublayers.iter().map(|s| s.len).sum();
+    let mut seen = vec![false; sublayers.iter().map(|s| s.start + s.len).max().unwrap_or(0)];
+    let mut count = 0usize;
+    let mut tissue_of = std::collections::HashMap::new();
+    for (k, t) in tissues.iter().enumerate() {
+        if let Some(limit) = mts {
+            if t.size() > limit {
+                return Err(format!("tissue {k} has size {} > MTS {limit}", t.size()));
+            }
+        }
+        for &cell in &t.cells {
+            if seen[cell] {
+                return Err(format!("cell {cell} scheduled twice"));
+            }
+            seen[cell] = true;
+            count += 1;
+            tissue_of.insert(cell, k);
+        }
+    }
+    if count != total {
+        return Err(format!("scheduled {count} cells, expected {total}"));
+    }
+    for s in sublayers {
+        let mut prev = None;
+        for cell in s.cells() {
+            let k = tissue_of[&cell];
+            if let Some(p) = prev {
+                if k <= p {
+                    return Err(format!(
+                        "cell {cell} (tissue {k}) does not follow its predecessor (tissue {p})"
+                    ));
+                }
+            }
+            prev = Some(k);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::division::divide;
+
+    /// The paper's Fig. 8 running example: 9 cells, sub-layers
+    /// {0,1,2}, {3}, {4,5,6}, {7,8}, MTS = 3.
+    fn fig8() -> Vec<SubLayer> {
+        divide(9, &[3, 4, 7])
+    }
+
+    #[test]
+    fn formation_matches_figure_8b1() {
+        let tissues = form_tissues(&fig8());
+        assert_eq!(tissues.len(), 3);
+        assert_eq!(tissues[0].cells, vec![0, 3, 4, 7]); // fat (size 4)
+        assert_eq!(tissues[1].cells, vec![1, 5, 8]);
+        assert_eq!(tissues[2].cells, vec![2, 6]); // thin
+    }
+
+    #[test]
+    fn alignment_matches_figure_8b2() {
+        // Fig. 8(b2): alignment moves cells 7 and 8 one tissue later.
+        let tissues = schedule_tissues(&fig8(), 3);
+        assert_eq!(tissues.len(), 3);
+        assert_eq!(tissues[0].cells, vec![0, 3, 4]);
+        assert_eq!(tissues[1].cells, vec![1, 5, 7]);
+        assert_eq!(tissues[2].cells, vec![2, 6, 8]);
+        validate_schedule(&fig8(), &tissues, Some(3)).unwrap();
+    }
+
+    #[test]
+    fn alignment_achieves_minimum_on_figure_8() {
+        let subs = fig8();
+        assert_eq!(min_tissue_count(&subs, 3), 3);
+        assert_eq!(schedule_tissues(&subs, 3).len(), 3);
+        assert_eq!(min_tissue_count(&subs, 2), 5);
+        let t2 = schedule_tissues(&subs, 2);
+        assert_eq!(t2.len(), 5);
+        validate_schedule(&subs, &t2, Some(2)).unwrap();
+    }
+
+    #[test]
+    fn balanced_beats_faithful_on_skewed_divisions() {
+        // Sub-layers of lengths [1, 1, 4] with MTS 2: the paper's
+        // index-order alignment cascades to 5 tissues; longest-first
+        // achieves the lower bound of 4.
+        let subs = divide(6, &[1, 2]);
+        assert_eq!(subs.iter().map(|s| s.len).collect::<Vec<_>>(), vec![1, 1, 4]);
+        let faithful = schedule_tissues(&subs, 2);
+        let balanced = schedule_tissues_balanced(&subs, 2);
+        assert_eq!(faithful.len(), 5);
+        assert_eq!(balanced.len(), 4);
+        assert_eq!(min_tissue_count(&subs, 2), 4);
+        validate_schedule(&subs, &faithful, Some(2)).unwrap();
+        validate_schedule(&subs, &balanced, Some(2)).unwrap();
+    }
+
+    #[test]
+    fn single_sublayer_degenerates_to_sequential() {
+        // No breakpoints -> every tissue has exactly one cell: the
+        // optimization gracefully degrades to the baseline order.
+        let subs = divide(5, &[]);
+        let tissues = schedule_tissues(&subs, 4);
+        assert_eq!(tissues.len(), 5);
+        for (k, t) in tissues.iter().enumerate() {
+            assert_eq!(t.cells, vec![k]);
+        }
+    }
+
+    #[test]
+    fn all_links_broken_gives_full_parallelism() {
+        let subs = divide(8, &[1, 2, 3, 4, 5, 6, 7]);
+        let tissues = schedule_tissues(&subs, 4);
+        assert_eq!(tissues.len(), 2);
+        assert_eq!(tissues[0].size(), 4);
+        assert_eq!(tissues[1].size(), 4);
+        validate_schedule(&subs, &tissues, Some(4)).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let subs = divide(4, &[2]);
+        // Swap a dependent pair: cell 1 before cell 0.
+        let bad = vec![Tissue { cells: vec![1, 2] }, Tissue { cells: vec![0, 3] }];
+        assert!(validate_schedule(&subs, &bad, None).is_err());
+        // Duplicate cell.
+        let dup = vec![Tissue { cells: vec![0, 2] }, Tissue { cells: vec![0, 1, 3] }];
+        assert!(validate_schedule(&subs, &dup, None).unwrap_err().contains("twice"));
+        // Oversized tissue.
+        let fat = vec![Tissue { cells: vec![0, 2] }, Tissue { cells: vec![1, 3] }];
+        assert!(validate_schedule(&subs, &fat, Some(1)).unwrap_err().contains("MTS"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mts must be positive")]
+    fn zero_mts_panics() {
+        schedule_tissues(&fig8(), 0);
+    }
+
+    #[test]
+    fn empty_division() {
+        assert!(form_tissues(&[]).is_empty());
+        assert!(schedule_tissues(&[], 3).is_empty());
+        assert_eq!(min_tissue_count(&[], 3), 0);
+    }
+}

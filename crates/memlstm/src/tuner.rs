@@ -1,0 +1,152 @@
+//! The user-oriented (UO) threshold tuner (paper Sec. VI-E and Fig. 10
+//! step 3).
+//!
+//! AO and BPA are fixed operating points; UO instead adjusts the threshold
+//! set *per user* from satisfaction feedback. The tuner hill-climbs on the
+//! set index: starting from a seed set (AO in the paper's deployment), it
+//! explores neighboring sets and settles on the one with the best observed
+//! feedback, re-exploring only when a neighbor is untried.
+
+/// Online per-user threshold-set tuner.
+#[derive(Debug, Clone)]
+pub struct UoTuner {
+    num_sets: usize,
+    current: usize,
+    /// Mean observed score and count per set.
+    scores: Vec<(f64, u32)>,
+}
+
+impl UoTuner {
+    /// Creates a tuner over `num_sets` threshold sets, starting at
+    /// `start` (clamped).
+    ///
+    /// # Panics
+    /// Panics if `num_sets == 0`.
+    pub fn new(num_sets: usize, start: usize) -> Self {
+        assert!(num_sets > 0, "UoTuner: need at least one set");
+        Self { num_sets, current: start.min(num_sets - 1), scores: vec![(0.0, 0); num_sets] }
+    }
+
+    /// The set the next replay should use.
+    pub fn current_set(&self) -> usize {
+        self.current
+    }
+
+    /// Mean observed score of a set, if it has been tried.
+    pub fn mean_score(&self, set: usize) -> Option<f64> {
+        let (sum, n) = self.scores[set];
+        (n > 0).then(|| sum / f64::from(n))
+    }
+
+    /// The best set observed so far (the current one before any feedback).
+    pub fn best_set(&self) -> usize {
+        (0..self.num_sets)
+            .filter_map(|i| self.mean_score(i).map(|s| (i, s)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(self.current)
+    }
+
+    /// Records the user's satisfaction score for the replay that used
+    /// [`Self::current_set`], then moves to the next set to try.
+    pub fn record_feedback(&mut self, score: f64) {
+        let (sum, n) = &mut self.scores[self.current];
+        *sum += score;
+        *n += 1;
+        self.current = self.next_probe();
+    }
+
+    /// Hill-climbing probe order: an untried neighbor of the best set if
+    /// one exists, otherwise the best set itself.
+    fn next_probe(&self) -> usize {
+        let best = self.best_set();
+        for candidate in [best.wrapping_sub(1), best + 1] {
+            if candidate < self.num_sets && self.scores[candidate].1 == 0 {
+                return candidate;
+            }
+        }
+        // Both neighbors tried (or out of range): exploit, unless a
+        // neighbor currently beats the best's mean (keep climbing).
+        let best_score = self.mean_score(best).unwrap_or(f64::NEG_INFINITY);
+        for candidate in [best.wrapping_sub(1), best + 1] {
+            if candidate < self.num_sets {
+                if let Some(s) = self.mean_score(candidate) {
+                    if s > best_score {
+                        return candidate;
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulated user with a single-peaked preference over set indices.
+    fn user_score(peak: usize, set: usize) -> f64 {
+        5.0 - (set as f64 - peak as f64).abs() * 0.7
+    }
+
+    #[test]
+    fn starts_at_seed() {
+        let tuner = UoTuner::new(11, 4);
+        assert_eq!(tuner.current_set(), 4);
+    }
+
+    #[test]
+    fn seed_clamped_to_range() {
+        assert_eq!(UoTuner::new(5, 100).current_set(), 4);
+    }
+
+    #[test]
+    fn converges_to_user_peak() {
+        for peak in [0usize, 3, 7, 10] {
+            let mut tuner = UoTuner::new(11, 5);
+            for _ in 0..25 {
+                let set = tuner.current_set();
+                tuner.record_feedback(user_score(peak, set));
+            }
+            assert_eq!(
+                tuner.best_set(),
+                peak,
+                "tuner should find peak {peak}, got {}",
+                tuner.best_set()
+            );
+        }
+    }
+
+    #[test]
+    fn settles_after_convergence() {
+        let mut tuner = UoTuner::new(11, 5);
+        for _ in 0..15 {
+            let set = tuner.current_set();
+            tuner.record_feedback(user_score(5, set));
+        }
+        // Once converged, the tuner stays at the peak.
+        let settled = tuner.current_set();
+        assert_eq!(settled, 5);
+        tuner.record_feedback(user_score(5, settled));
+        assert_eq!(tuner.current_set(), 5);
+    }
+
+    #[test]
+    fn mean_scores_accumulate() {
+        let mut tuner = UoTuner::new(3, 1);
+        tuner.record_feedback(4.0);
+        // After feedback the tuner probes a neighbor; feed it too.
+        let probe = tuner.current_set();
+        tuner.record_feedback(2.0);
+        assert_eq!(tuner.mean_score(1), Some(4.0));
+        assert_eq!(tuner.mean_score(probe), Some(2.0));
+        assert_eq!(tuner.best_set(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_panics() {
+        UoTuner::new(0, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests on the layer-division and tissue-scheduling invariants.
+
+use memlstm::division::divide;
+use memlstm::tissue::{
+    form_tissues, min_tissue_count, schedule_tissues, schedule_tissues_balanced, validate_schedule,
+};
+use proptest::prelude::*;
+
+/// A random (seq_len, sorted unique breakpoints) pair.
+fn division_inputs() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (2usize..60).prop_flat_map(|n| {
+        let bps = proptest::collection::btree_set(1..n, 0..n.min(12)).prop_map(|s| s.into_iter().collect());
+        (Just(n), bps)
+    })
+}
+
+proptest! {
+    #[test]
+    fn division_is_a_partition((n, bps) in division_inputs()) {
+        let subs = divide(n, &bps);
+        prop_assert_eq!(subs.iter().map(|s| s.len).sum::<usize>(), n);
+        let mut next = 0usize;
+        for s in &subs {
+            prop_assert_eq!(s.start, next);
+            prop_assert!(s.len > 0);
+            next += s.len;
+        }
+        prop_assert_eq!(subs.len(), bps.len() + 1);
+    }
+
+    #[test]
+    fn paper_schedule_is_valid((n, bps) in division_inputs(), mts in 1usize..8) {
+        let subs = divide(n, &bps);
+        let tissues = schedule_tissues(&subs, mts);
+        prop_assert!(validate_schedule(&subs, &tissues, Some(mts)).is_ok(),
+            "{:?}", validate_schedule(&subs, &tissues, Some(mts)));
+    }
+
+    #[test]
+    fn balanced_schedule_is_valid_and_optimal((n, bps) in division_inputs(), mts in 1usize..8) {
+        let subs = divide(n, &bps);
+        let tissues = schedule_tissues_balanced(&subs, mts);
+        prop_assert!(validate_schedule(&subs, &tissues, Some(mts)).is_ok());
+        prop_assert_eq!(tissues.len(), min_tissue_count(&subs, mts),
+            "longest-first must hit the lower bound");
+    }
+
+    #[test]
+    fn balanced_never_worse_than_paper((n, bps) in division_inputs(), mts in 1usize..8) {
+        let subs = divide(n, &bps);
+        let paper = schedule_tissues(&subs, mts);
+        let balanced = schedule_tissues_balanced(&subs, mts);
+        prop_assert!(balanced.len() <= paper.len());
+    }
+
+    #[test]
+    fn naive_formation_covers_every_cell((n, bps) in division_inputs()) {
+        let subs = divide(n, &bps);
+        let tissues = form_tissues(&subs);
+        // Formation ignores MTS but must still be a valid dependency order.
+        prop_assert!(validate_schedule(&subs, &tissues, None).is_ok());
+        // Tissue count equals the longest sub-layer.
+        let longest = subs.iter().map(|s| s.len).max().unwrap_or(0);
+        prop_assert_eq!(tissues.len(), longest);
+    }
+
+    #[test]
+    fn breakpoints_monotone_in_threshold(rel in proptest::collection::vec(0.0f64..10.0, 2..40), lo in 0.0f64..5.0, delta in 0.0f64..5.0) {
+        let mut relevances = rel;
+        relevances[0] = f64::INFINITY;
+        let a = memlstm::breakpoints::find_breakpoints(&relevances, lo);
+        let b = memlstm::breakpoints::find_breakpoints(&relevances, lo + delta);
+        prop_assert!(a.len() <= b.len());
+        // a is a subset of b.
+        for t in &a {
+            prop_assert!(b.contains(t));
+        }
+    }
+}

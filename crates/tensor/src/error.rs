@@ -1,0 +1,83 @@
+//! Error types for shape-checked tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for fallible tensor operations.
+pub type TensorResult<T> = Result<T, ShapeError>;
+
+/// Error returned when operand shapes are incompatible.
+///
+/// Most hot-path kernels in this crate panic on shape mismatch (the shapes
+/// are invariants established at model-construction time); the fallible
+/// constructors that accept user-provided dimensions return this error
+/// instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    expected: (usize, usize),
+    actual: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with the expected and
+    /// actual `(rows, cols)` dimensions.
+    pub fn new(op: &'static str, expected: (usize, usize), actual: (usize, usize)) -> Self {
+        Self { op, expected, actual }
+    }
+
+    /// The operation that failed.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// The `(rows, cols)` shape the operation required.
+    pub fn expected(&self) -> (usize, usize) {
+        self.expected
+    }
+
+    /// The `(rows, cols)` shape it received.
+    pub fn actual(&self) -> (usize, usize) {
+        self.actual
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: expected {}x{}, got {}x{}",
+            self.op, self.expected.0, self.expected.1, self.actual.0, self.actual.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ShapeError::new("gemv", (4, 3), (4, 2));
+        let msg = err.to_string();
+        assert!(msg.contains("gemv"));
+        assert!(msg.contains("4x3"));
+        assert!(msg.contains("4x2"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = ShapeError::new("sgemm", (2, 2), (3, 3));
+        assert_eq!(err.op(), "sgemm");
+        assert_eq!(err.expected(), (2, 2));
+        assert_eq!(err.actual(), (3, 3));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,206 @@
+//! Weight and input initializers.
+//!
+//! The reproduction has no access to the paper's trained checkpoints
+//! (IMDB/MR/BABI/SNLI/PTB/MT models trained in PyTorch), so the `workloads`
+//! crate samples *trained-like* weights instead. Two statistical properties
+//! of trained LSTMs matter for the paper's mechanisms and are therefore
+//! first-class parameters here:
+//!
+//! 1. **Row-scale spread** in the recurrent matrices `U`: trained LSTMs
+//!    have many rows with a small L1 norm (weakly input-coupled units) and a
+//!    few heavy rows. Algorithm 2's `D_j = sum_k |U[j][k]|` row bounds — and
+//!    with them the weak-context-link population — depend directly on this
+//!    spread.
+//! 2. **Output-gate saturation**: a sizeable fraction of trained output-gate
+//!    units are biased far negative, producing near-zero `o_t` elements.
+//!    Those are exactly the rows Dynamic Row Skip removes (Sec. V-A).
+//!
+//! All samplers are deterministic given a seed.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+///
+/// Implemented in-crate so that the only random-number dependency is
+/// `rand` itself (see DESIGN.md §5).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f32, std_dev: f32) -> f32 {
+    // Box–Muller: u1 in (0, 1], u2 in [0, 1).
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std_dev * mag * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Xavier/Glorot-uniform matrix: entries in `±sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+}
+
+/// Gaussian matrix with the given standard deviation.
+pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std_dev: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| normal(rng, 0.0, std_dev))
+}
+
+/// Gaussian vector with the given mean and standard deviation.
+pub fn gaussian_vector<R: Rng + ?Sized>(rng: &mut R, len: usize, mean: f32, std_dev: f32) -> Vector {
+    Vector::from_fn(len, |_| normal(rng, mean, std_dev))
+}
+
+/// Configuration for the trained-like recurrent-matrix sampler.
+///
+/// Each row `j` receives an independent scale factor `s_j`; a fraction
+/// [`light_row_frac`](Self::light_row_frac) of rows are "light" (scale
+/// multiplied by [`light_scale`](Self::light_scale)), producing the small
+/// `D_j` row bounds that give rise to weak context links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowScaledInit {
+    /// Base per-element standard deviation before row scaling.
+    pub base_std: f32,
+    /// Fraction of rows drawn as light rows, in `[0, 1]`.
+    pub light_row_frac: f32,
+    /// Multiplier applied to light rows' scale (typically `< 1`).
+    pub light_scale: f32,
+}
+
+impl Default for RowScaledInit {
+    fn default() -> Self {
+        Self { base_std: 0.08, light_row_frac: 0.5, light_scale: 0.2 }
+    }
+}
+
+impl RowScaledInit {
+    /// Samples a `rows x cols` matrix with per-row scale spread.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, rows: usize, cols: usize) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let light = rng.gen::<f32>() < self.light_row_frac;
+            let scale = if light { self.base_std * self.light_scale } else { self.base_std };
+            for c in 0..cols {
+                m[(r, c)] = normal(rng, 0.0, scale);
+            }
+        }
+        m
+    }
+}
+
+/// Configuration for the trained-like output-gate bias sampler.
+///
+/// A fraction [`saturated_frac`](Self::saturated_frac) of units receive a
+/// strongly negative bias (mean [`saturated_mean`](Self::saturated_mean)),
+/// saturating `o_t` near zero for those units across most inputs — the
+/// trivial rows Dynamic Row Skip targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateBiasInit {
+    /// Fraction of saturated (near-zero output gate) units, in `[0, 1]`.
+    pub saturated_frac: f32,
+    /// Mean bias of saturated units (strongly negative).
+    pub saturated_mean: f32,
+    /// Std-dev of saturated units' bias.
+    pub saturated_std: f32,
+    /// Mean bias of regular units.
+    pub regular_mean: f32,
+    /// Std-dev of regular units' bias.
+    pub regular_std: f32,
+}
+
+impl Default for GateBiasInit {
+    fn default() -> Self {
+        Self {
+            saturated_frac: 0.5,
+            saturated_mean: -4.5,
+            saturated_std: 0.8,
+            regular_mean: 0.3,
+            regular_std: 0.8,
+        }
+    }
+}
+
+impl GateBiasInit {
+    /// Samples a bias vector of length `len` from the mixture.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> Vector {
+        Vector::from_fn(len, |_| {
+            if rng.gen::<f32>() < self.saturated_frac {
+                normal(rng, self.saturated_mean, self.saturated_std)
+            } else {
+                normal(rng, self.regular_mean, self.regular_std)
+            }
+        })
+    }
+}
+
+/// Convenience constructor for a seeded [`StdRng`].
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = seeded_rng(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng, 1.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = seeded_rng(1);
+        let m = xavier_uniform(&mut rng, 64, 64);
+        let bound = (6.0 / 128.0f32).sqrt();
+        assert!(m.max_abs() <= bound);
+        assert!(m.max_abs() > bound * 0.5, "degenerately small draws");
+    }
+
+    #[test]
+    fn row_scaled_creates_light_and_heavy_rows() {
+        let mut rng = seeded_rng(3);
+        let init = RowScaledInit { base_std: 0.1, light_row_frac: 0.5, light_scale: 0.1 };
+        let m = init.sample(&mut rng, 200, 64);
+        let sums = m.row_abs_sums();
+        let mut sorted: Vec<f32> = sums.as_slice().to_vec();
+        sorted.sort_by(f32::total_cmp);
+        let light_median = sorted[sorted.len() / 4];
+        let heavy_median = sorted[3 * sorted.len() / 4];
+        assert!(
+            heavy_median > 3.0 * light_median,
+            "row-scale spread missing: {light_median} vs {heavy_median}"
+        );
+    }
+
+    #[test]
+    fn gate_bias_mixture_is_bimodal() {
+        let mut rng = seeded_rng(11);
+        let init = GateBiasInit::default();
+        let b = init.sample(&mut rng, 2000);
+        let saturated = b.iter().filter(|&&x| x < -2.0).count();
+        let frac = saturated as f32 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.08, "saturated fraction {frac}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_given_seed() {
+        let a = xavier_uniform(&mut seeded_rng(42), 4, 4);
+        let b = xavier_uniform(&mut seeded_rng(42), 4, 4);
+        assert_eq!(a, b);
+        let v1 = GateBiasInit::default().sample(&mut seeded_rng(5), 16);
+        let v2 = GateBiasInit::default().sample(&mut seeded_rng(5), 16);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn gaussian_helpers_shapes() {
+        let mut rng = seeded_rng(0);
+        assert_eq!(gaussian_matrix(&mut rng, 3, 5, 1.0).shape(), (3, 5));
+        assert_eq!(gaussian_vector(&mut rng, 7, 0.0, 1.0).len(), 7);
+    }
+}

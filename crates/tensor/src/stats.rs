@@ -1,0 +1,288 @@
+//! Running statistics and histograms.
+//!
+//! The inter-cell accuracy-recovery step (paper Sec. IV-B, Eq. 6) predicts
+//! the context link lost at each breakpoint with the per-element
+//! *expectation* of the context-link distribution, collected offline over a
+//! training set. [`RunningStats`] accumulates exactly that, and
+//! [`Histogram`] supports inspecting the distributions the prediction is
+//! built from.
+
+use crate::vector::Vector;
+
+/// Streaming per-element mean/variance accumulator (Welford's algorithm)
+/// over a population of equal-length vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl RunningStats {
+    /// Creates an accumulator for vectors of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self { count: 0, mean: vec![0.0; dim], m2: vec![0.0; dim] }
+    }
+
+    /// Element dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Number of vectors observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation into the accumulator.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.dim()`.
+    pub fn push(&mut self, v: &Vector) {
+        assert_eq!(v.len(), self.dim(), "RunningStats::push: dimension mismatch");
+        self.count += 1;
+        for (i, &x) in v.iter().enumerate() {
+            let x = f64::from(x);
+            let delta = x - self.mean[i];
+            self.mean[i] += delta / self.count as f64;
+            self.m2[i] += delta * (x - self.mean[i]);
+        }
+    }
+
+    /// The per-element expectation vector (Eq. 6's `h̄_j`); zeros when no
+    /// observations have been pushed.
+    pub fn mean(&self) -> Vector {
+        Vector::from_fn(self.dim(), |i| self.mean[i] as f32)
+    }
+
+    /// The per-element population variance; zeros until two observations.
+    pub fn variance(&self) -> Vector {
+        if self.count < 2 {
+            return Vector::zeros(self.dim());
+        }
+        Vector::from_fn(self.dim(), |i| (self.m2[i] / self.count as f64) as f32)
+    }
+
+    /// Merges another accumulator over the same dimensionality
+    /// (parallel-friendly Chan et al. combination).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn merge(&mut self, other: &RunningStats) {
+        assert_eq!(self.dim(), other.dim(), "RunningStats::merge: dimension mismatch");
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        for i in 0..self.dim() {
+            let delta = other.mean[i] - self.mean[i];
+            self.mean[i] += delta * other.count as f64 / total as f64;
+            self.m2[i] += other.m2[i]
+                + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        }
+        self.count = total;
+    }
+}
+
+/// A fixed-range, uniform-bin histogram of scalar observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: bins must be positive");
+        assert!(lo < hi, "Histogram: empty range");
+        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f32) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f32) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Observations that fell below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations that fell at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bucket counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The approximate `q`-quantile (`q` in `[0, 1]`), computed from bucket
+    /// boundaries; `None` when empty.
+    pub fn quantile(&self, q: f32) -> Option<f32> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q as f64 * total as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f32;
+        for (i, &b) in self.bins.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(self.lo + width * (i as f32 + 1.0));
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// Fraction of in-range observations at or below `x`.
+    pub fn cdf(&self, x: f32) -> f32 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = self.underflow;
+        let width = (self.hi - self.lo) / self.bins.len() as f32;
+        for (i, &b) in self.bins.iter().enumerate() {
+            let upper = self.lo + width * (i as f32 + 1.0);
+            if upper <= x {
+                acc += b;
+            }
+        }
+        if x >= self.hi {
+            acc += self.overflow;
+        }
+        acc as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_mean_variance() {
+        let mut s = RunningStats::new(2);
+        s.push(&Vector::from(vec![1.0, 10.0]));
+        s.push(&Vector::from(vec![3.0, 10.0]));
+        s.push(&Vector::from(vec![5.0, 10.0]));
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean().as_slice(), &[3.0, 10.0]);
+        let var = s.variance();
+        assert!((var[0] - 8.0 / 3.0).abs() < 1e-5);
+        assert!(var[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn running_stats_empty_is_zero() {
+        let s = RunningStats::new(3);
+        assert_eq!(s.mean(), Vector::zeros(3));
+        assert_eq!(s.variance(), Vector::zeros(3));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<Vector> =
+            (0..10).map(|i| Vector::from(vec![i as f32, (i * i) as f32])).collect();
+        let mut all = RunningStats::new(2);
+        for v in &data {
+            all.push(v);
+        }
+        let mut a = RunningStats::new(2);
+        let mut b = RunningStats::new(2);
+        for v in &data[..4] {
+            a.push(v);
+        }
+        for v in &data[4..] {
+            b.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for i in 0..2 {
+            assert!((a.mean()[i] - all.mean()[i]).abs() < 1e-4);
+            assert!((a.variance()[i] - all.variance()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new(1);
+        a.push(&Vector::from(vec![2.0]));
+        let before = a.clone();
+        a.merge(&RunningStats::new(1));
+        assert_eq!(a, before);
+
+        let mut empty = RunningStats::new(1);
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_counts_and_flows() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [-0.5, 0.1, 0.3, 0.6, 0.9, 1.5] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f32 / 10.0);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 5.0).abs() <= 1.0, "median {median}");
+        assert_eq!(h.quantile(0.0), Some(0.0)); // degenerate quantile clamps to range start
+        assert!(Histogram::new(0.0, 1.0, 2).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_cdf_monotone() {
+        let mut h = Histogram::new(-1.0, 1.0, 8);
+        for i in -10..10 {
+            h.record(i as f32 / 10.0);
+        }
+        let mut prev = 0.0;
+        for x in [-1.0, -0.5, 0.0, 0.5, 1.0] {
+            let c = h.cdf(x);
+            assert!(c >= prev, "cdf not monotone at {x}");
+            prev = c;
+        }
+        assert!((h.cdf(1.0) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,137 @@
+//! Teacher-match accuracy evaluation.
+//!
+//! The paper's accuracy metric is the application's output accuracy
+//! relative to the unapproximated model ("2% accuracy loss" means the
+//! optimized execution changes the task output on 2% of inputs). With the
+//! original datasets unavailable, we measure exactly that relative
+//! quantity: agreement between the optimized execution's predictions and
+//! the exact model's predictions on the same inputs.
+
+/// Fraction of positions where `approx` equals `teacher`, in `[0, 1]`.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn teacher_match(teacher: &[usize], approx: &[usize]) -> f64 {
+    assert_eq!(teacher.len(), approx.len(), "teacher_match: length mismatch");
+    assert!(!teacher.is_empty(), "teacher_match: empty evaluation set");
+    let matches = teacher.iter().zip(approx).filter(|(a, b)| a == b).count();
+    matches as f64 / teacher.len() as f64
+}
+
+/// Teacher match over per-sequence, per-timestep prediction sets
+/// (`[sequence][timestep]`), pooled across all timesteps.
+///
+/// # Panics
+/// Panics if the shapes differ or the total count is zero.
+pub fn teacher_match_nested(teacher: &[Vec<usize>], approx: &[Vec<usize>]) -> f64 {
+    assert_eq!(teacher.len(), approx.len(), "teacher_match_nested: sequence count mismatch");
+    let mut matches = 0usize;
+    let mut total = 0usize;
+    for (t_seq, a_seq) in teacher.iter().zip(approx) {
+        assert_eq!(t_seq.len(), a_seq.len(), "teacher_match_nested: sequence length mismatch");
+        total += t_seq.len();
+        matches += t_seq.iter().zip(a_seq).filter(|(a, b)| a == b).count();
+    }
+    assert!(total > 0, "teacher_match_nested: empty evaluation set");
+    matches as f64 / total as f64
+}
+
+/// An accuracy measurement with its complement, formatted as the paper
+/// reports it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Agreement with the exact model, in `[0, 1]`.
+    pub accuracy: f64,
+    /// Number of evaluated inputs.
+    pub count: usize,
+}
+
+impl AccuracyReport {
+    /// Builds a report from prediction slices.
+    ///
+    /// # Panics
+    /// Panics if the slices mismatch or are empty.
+    pub fn from_predictions(teacher: &[usize], approx: &[usize]) -> Self {
+        Self { accuracy: teacher_match(teacher, approx), count: teacher.len() }
+    }
+
+    /// Accuracy *loss* relative to the exact model, in `[0, 1]`.
+    pub fn loss(&self) -> f64 {
+        1.0 - self.accuracy
+    }
+
+    /// Whether the loss is user-imperceptible per the paper's 2% criterion.
+    pub fn is_user_imperceptible(&self) -> bool {
+        self.loss() <= 0.02 + 1e-12
+    }
+}
+
+impl std::fmt::Display for AccuracyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}% ({} inputs)", self.accuracy * 100.0, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_is_one() {
+        assert_eq!(teacher_match(&[1, 2, 3], &[1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn half_match() {
+        assert_eq!(teacher_match(&[0, 0, 1, 1], &[0, 1, 1, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        teacher_match(&[1], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation set")]
+    fn empty_set_panics() {
+        teacher_match(&[], &[]);
+    }
+
+    #[test]
+    fn report_loss_and_threshold() {
+        let r = AccuracyReport::from_predictions(&[0; 100], &[0; 100]);
+        assert!(r.is_user_imperceptible());
+        assert_eq!(r.loss(), 0.0);
+
+        let mut approx = vec![0usize; 100];
+        approx[0] = 1;
+        approx[1] = 1;
+        let r = AccuracyReport::from_predictions(&[0; 100], &approx);
+        assert!((r.loss() - 0.02).abs() < 1e-12);
+        assert!(r.is_user_imperceptible());
+
+        approx[2] = 1;
+        let r = AccuracyReport::from_predictions(&[0; 100], &approx);
+        assert!(!r.is_user_imperceptible());
+    }
+
+    #[test]
+    fn nested_match_pools_timesteps() {
+        let teacher = vec![vec![0, 1, 1], vec![2, 2, 2]];
+        let approx = vec![vec![0, 1, 0], vec![2, 2, 2]];
+        assert!((teacher_match_nested(&teacher, &approx) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length mismatch")]
+    fn nested_match_rejects_ragged() {
+        teacher_match_nested(&[vec![1, 2]], &[vec![1]]);
+    }
+
+    #[test]
+    fn display_formats_percentage() {
+        let r = AccuracyReport { accuracy: 0.985, count: 40 };
+        assert_eq!(r.to_string(), "98.50% (40 inputs)");
+    }
+}

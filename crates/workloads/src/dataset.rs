@@ -1,0 +1,152 @@
+//! Input datasets: synthetic sequences with an offline/online split.
+
+use crate::spec::Benchmark;
+use rand::Rng;
+use tensor::init::seeded_rng;
+use tensor::Vector;
+
+/// A set of input sequences for one benchmark.
+///
+/// The *offline* split stands in for the training set the paper uses to
+/// collect the context-link distribution (Sec. IV-B, Eq. 6); the *eval*
+/// split is what accuracy and performance are measured on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    benchmark: Benchmark,
+    offline: Vec<Vec<Vector>>,
+    eval: Vec<Vec<Vector>>,
+}
+
+impl Dataset {
+    /// Generates `offline_n` offline and `eval_n` evaluation sequences for
+    /// `benchmark`, deterministically from `seed`.
+    pub fn generate(benchmark: Benchmark, offline_n: usize, eval_n: usize, seed: u64) -> Self {
+        let cfg = benchmark.model_config();
+        let mut rng = seeded_rng(seed ^ 0xD5EA_5E7);
+        let mut sample = |n: usize| -> Vec<Vec<Vector>> {
+            (0..n).map(|_| sample_sequence(cfg.seq_len, cfg.input_dim, &mut rng)).collect()
+        };
+        let offline = sample(offline_n);
+        let eval = sample(eval_n);
+        Self { benchmark, offline, eval }
+    }
+
+    /// Builds a dataset from explicit splits (used by the capacity sweeps
+    /// that need non-Table-II shapes).
+    pub fn from_parts(
+        benchmark: Benchmark,
+        offline: Vec<Vec<Vector>>,
+        eval: Vec<Vec<Vector>>,
+    ) -> Self {
+        Self { benchmark, offline, eval }
+    }
+
+    /// The benchmark this dataset belongs to.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The offline (distribution-collection) sequences.
+    pub fn offline(&self) -> &[Vec<Vector>] {
+        &self.offline
+    }
+
+    /// The evaluation sequences.
+    pub fn eval(&self) -> &[Vec<Vector>] {
+        &self.eval
+    }
+}
+
+/// Samples one synthetic token sequence.
+///
+/// Real token streams are not i.i.d.: embedding norms vary strongly from
+/// token to token (content words carry much larger activations than
+/// fillers), and ~18% of tokens are *segment boundaries* (sentence/clause
+/// ends, pauses) carried on channel 0, which the synthesized first-layer
+/// weights detect with a learned reset (see `lstm::cell::CellInit`).
+///
+/// Regular tokens get a log-uniform magnitude in `[0.25, 2.8]`; the spread
+/// differentiates the context links: a strong token saturates the next
+/// cell's gates (weaker incoming link), a weak token leaves them sensitive
+/// (strong link) — the non-uniformity paper Sec. IV-B exploits. Boundary
+/// tokens coherently close the gates, producing the genuinely weak links
+/// the layer division breaks.
+pub fn sample_sequence(seq_len: usize, input_dim: usize, rng: &mut impl Rng) -> Vec<Vector> {
+    const BOUNDARY_PROB: f32 = 0.18;
+    (0..seq_len)
+        .map(|t| {
+            let boundary = t > 0 && rng.gen::<f32>() < BOUNDARY_PROB;
+            if boundary {
+                let mut x = Vector::from_fn(input_dim, |_| 0.2 * rng.gen_range(-1.0f32..=1.0));
+                x[0] = 3.0 + rng.gen_range(0.0f32..0.8);
+                x
+            } else {
+                let log_lo = 0.25f32.ln();
+                let log_hi = 2.8f32.ln();
+                let scale = (log_lo + rng.gen::<f32>() * (log_hi - log_lo)).exp();
+                let mut x = Vector::from_fn(input_dim, |_| scale * rng.gen_range(-1.0f32..=1.0));
+                x[0] = 0.3 * rng.gen_range(-1.0f32..=1.0);
+                x
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_follow_benchmark_config() {
+        let d = Dataset::generate(Benchmark::Mr, 3, 2, 1);
+        assert_eq!(d.offline().len(), 3);
+        assert_eq!(d.eval().len(), 2);
+        let cfg = Benchmark::Mr.model_config();
+        assert_eq!(d.eval()[0].len(), cfg.seq_len);
+        assert_eq!(d.eval()[0][0].len(), cfg.input_dim);
+        assert_eq!(d.benchmark(), Benchmark::Mr);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Dataset::generate(Benchmark::Mr, 2, 2, 9);
+        let b = Dataset::generate(Benchmark::Mr, 2, 2, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(Benchmark::Mr, 1, 1, 1);
+        let b = Dataset::generate(Benchmark::Mr, 1, 1, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn offline_and_eval_are_disjoint_draws() {
+        let d = Dataset::generate(Benchmark::Mr, 1, 1, 3);
+        assert_ne!(d.offline()[0], d.eval()[0]);
+    }
+
+    #[test]
+    fn inputs_bounded_by_max_token_scale() {
+        let d = Dataset::generate(Benchmark::Snli, 1, 1, 4);
+        for x in &d.eval()[0] {
+            assert!(x.max_abs() <= 4.0);
+        }
+        // Boundary tokens exist across a reasonable sample.
+        let mut rng = seeded_rng(31);
+        let seq = sample_sequence(200, 16, &mut rng);
+        let boundaries = seq.iter().filter(|x| x[0] > 2.5).count();
+        assert!((20..=55).contains(&boundaries), "boundary count {boundaries}");
+    }
+
+    #[test]
+    fn token_scales_vary_within_a_sequence() {
+        let mut rng = seeded_rng(9);
+        let seq = sample_sequence(40, 32, &mut rng);
+        let norms: Vec<f32> = seq.iter().map(|x| x.norm()).collect();
+        let max = norms.iter().cloned().fold(0.0f32, f32::max);
+        let min = norms.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(max > 2.5 * min, "token magnitudes too uniform: {min}..{max}");
+    }
+}

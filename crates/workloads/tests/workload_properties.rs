@@ -1,0 +1,77 @@
+//! Property and invariant tests for the synthetic benchmark suite.
+
+use proptest::prelude::*;
+use workloads::{teacher_match_nested, Benchmark, Dataset, Workload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn datasets_have_requested_shape(offline in 1usize..4, eval in 1usize..4, seed in 0u64..100) {
+        let d = Dataset::generate(Benchmark::Mr, offline, eval, seed);
+        prop_assert_eq!(d.offline().len(), offline);
+        prop_assert_eq!(d.eval().len(), eval);
+        let cfg = Benchmark::Mr.model_config();
+        for seq in d.eval() {
+            prop_assert_eq!(seq.len(), cfg.seq_len);
+            for x in seq {
+                prop_assert_eq!(x.len(), cfg.input_dim);
+                prop_assert!(x.max_abs() <= 4.0);
+            }
+        }
+    }
+
+    #[test]
+    fn teacher_match_is_reflexive(seed in 0u64..50) {
+        let wl = Workload::generate(Benchmark::Mr, 2, seed);
+        let labels = wl.teacher_labels().to_vec();
+        prop_assert_eq!(teacher_match_nested(&labels, wl.teacher_labels()), 1.0);
+    }
+}
+
+#[test]
+fn every_benchmark_generates_and_predicts() {
+    for b in Benchmark::ALL {
+        // Smallest viable instantiation to keep this affordable: scale
+        // the model down but keep the benchmark identity.
+        let cfg = b.model_config().with_hidden_size(32).with_seq_len(6);
+        let wl = Workload::generate_scaled(b, &cfg, 2, 1);
+        assert_eq!(wl.teacher_labels().len(), 2);
+        for seq in wl.teacher_labels() {
+            assert_eq!(seq.len(), 6);
+            for &l in seq {
+                assert!(l < b.spec().num_classes);
+            }
+        }
+    }
+}
+
+#[test]
+fn teacher_labels_are_not_degenerate_on_full_benchmarks() {
+    // The exact model's per-step predictions must carry information: more
+    // than one class must appear across a small evaluation set, for every
+    // multi-class benchmark. (A collapsed teacher would make the accuracy
+    // metric vacuous.)
+    for b in [Benchmark::Babi, Benchmark::Snli] {
+        let wl = Workload::generate(b, 4, 0xBEEF);
+        let mut classes = std::collections::BTreeSet::new();
+        for seq in wl.teacher_labels() {
+            classes.extend(seq.iter().copied());
+        }
+        assert!(classes.len() >= 2, "{b}: teacher collapsed to {classes:?}");
+    }
+}
+
+#[test]
+fn boundary_tokens_present_in_real_benchmarks() {
+    let wl = Workload::generate(Benchmark::Mr, 4, 3);
+    let boundaries: usize = wl
+        .eval_set()
+        .iter()
+        .flat_map(|seq| seq.iter())
+        .filter(|x| x[0] > 2.5)
+        .count();
+    let total: usize = wl.eval_set().iter().map(|s| s.len()).sum();
+    let frac = boundaries as f64 / total as f64;
+    assert!((0.08..0.30).contains(&frac), "boundary fraction {frac}");
+}

@@ -1,0 +1,81 @@
+//! A streaming translation pipeline (the paper's MT workload): sentences
+//! arrive one after another, and the runtime compares the baseline, the
+//! inter-cell level, the intra-cell level, and the combined system on
+//! latency, energy and output agreement — the Fig. 14 story for one app.
+//!
+//! ```text
+//! cargo run --release --example translator
+//! ```
+
+use gpu_sim::{GpuConfig, GpuDevice};
+use lstm::BaselineExecutor;
+use memlstm::drs::{DrsConfig, DrsMode};
+use memlstm::exec::{OptimizedExecutor, OptimizerConfig};
+use memlstm::mts::determine_mts;
+use memlstm::prediction::NetworkPredictors;
+use workloads::{Benchmark, Workload};
+
+fn main() {
+    let workload = Workload::generate(Benchmark::Mt, 6, 11);
+    let net = workload.network();
+    println!("translator model: {}\n", net.config());
+
+    let gpu = GpuConfig::tegra_x1();
+    let mts = determine_mts(&gpu, net.config().hidden_size, 10).mts;
+    let predictors = NetworkPredictors::collect(net, workload.dataset().offline());
+
+    let alpha_inter = 0.8;
+    let alpha_intra = 0.06;
+    let drs = DrsConfig { alpha_intra, mode: DrsMode::Hardware };
+    let schemes: Vec<(&str, Option<OptimizerConfig>)> = vec![
+        ("baseline", None),
+        ("inter-cell", Some(OptimizerConfig::inter_only(alpha_inter, mts))),
+        ("intra-cell", Some(OptimizerConfig::intra_only(drs))),
+        ("combined", Some(OptimizerConfig::combined(alpha_inter, mts, drs))),
+    ];
+
+    let mut device = GpuDevice::new(gpu);
+    let mut baseline_time = 0.0f64;
+    let mut baseline_preds: Vec<usize> = Vec::new();
+    println!("scheme      latency/sentence  energy/sentence  speedup  agreement");
+    for (name, config) in &schemes {
+        let mut time = 0.0f64;
+        let mut energy = 0.0f64;
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (i, xs) in workload.eval_set().iter().enumerate() {
+            let run = match config {
+                None => BaselineExecutor::new(net).run(xs),
+                Some(c) => OptimizedExecutor::new(net, &predictors, *c).run(xs),
+            };
+            device.reset();
+            let report = device.run_trace(run.trace());
+            time += report.time_s;
+            energy += report.energy.total_j();
+            let pred = run.predicted_class();
+            if config.is_none() {
+                baseline_preds.push(pred);
+            } else {
+                total += 1;
+                if pred == baseline_preds[i] {
+                    agree += 1;
+                }
+            }
+        }
+        let n = workload.eval_set().len() as f64;
+        if config.is_none() {
+            baseline_time = time;
+        }
+        println!(
+            "{name:<11} {:13.1} ms {:12.1} mJ {:7.2}x  {}",
+            time / n * 1e3,
+            energy / n * 1e3,
+            baseline_time / time,
+            if total == 0 {
+                "-".to_owned()
+            } else {
+                format!("{}/{total}", agree)
+            }
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Numerical-equivalence integration tests: the optimized executors must
+//! degrade gracefully into the exact computation as thresholds go to zero,
+//! and every executor must agree on trace bookkeeping invariants.
+
+use gpu_sim::KernelKind;
+use lstm::{BaselineExecutor, LstmNetwork, ModelConfig};
+use memlstm::drs::{DrsConfig, DrsMode};
+use memlstm::exec::{OptimizedExecutor, OptimizerConfig};
+use memlstm::prediction::NetworkPredictors;
+use tensor::init::seeded_rng;
+use tensor::Vector;
+
+fn setup() -> (LstmNetwork, Vec<Vector>, NetworkPredictors) {
+    let config = ModelConfig::new("eq", 32, 48, 2, 12, 3).unwrap();
+    let mut rng = seeded_rng(77);
+    let net = LstmNetwork::random(&config, &mut rng);
+    let xs = lstm::random_inputs(&config, &mut rng);
+    let offline: Vec<Vec<Vector>> =
+        (0..4).map(|_| lstm::random_inputs(&config, &mut rng)).collect();
+    let predictors = NetworkPredictors::collect(&net, &offline);
+    (net, xs, predictors)
+}
+
+#[test]
+fn zero_threshold_configs_are_bit_exact() {
+    let (net, xs, predictors) = setup();
+    let exact = net.forward(&xs);
+    for config in [
+        OptimizerConfig::inter_only(0.0, 5),
+        OptimizerConfig::intra_only(DrsConfig::disabled()),
+        OptimizerConfig::combined(0.0, 5, DrsConfig::disabled()),
+    ] {
+        let run = OptimizedExecutor::new(&net, &predictors, config).run(&xs);
+        assert_eq!(run.logits, exact.logits, "config {config:?} diverged");
+    }
+}
+
+#[test]
+fn baseline_executor_is_bit_exact() {
+    let (net, xs, _) = setup();
+    let run = BaselineExecutor::new(&net).run(&xs);
+    let exact = net.forward(&xs);
+    assert_eq!(run.logits, exact.logits);
+    for (layer_run, exact_hs) in run.layers.iter().zip(&exact.layer_outputs) {
+        assert_eq!(&layer_run.hs, exact_hs);
+    }
+}
+
+#[test]
+fn every_trace_reads_weights_from_declared_regions() {
+    let (net, xs, predictors) = setup();
+    let configs = vec![
+        OptimizerConfig::inter_only(2.0, 4),
+        OptimizerConfig::intra_only(DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware }),
+        OptimizerConfig::combined(2.0, 4, DrsConfig { alpha_intra: 0.05, mode: DrsMode::Software }),
+    ];
+    for config in configs {
+        let run = OptimizedExecutor::new(&net, &predictors, config).run(&xs);
+        let weight_regions: std::collections::HashSet<_> = run
+            .regions
+            .layers
+            .iter()
+            .flat_map(|l| [l.u_full, l.u_o, l.u_fic, l.w])
+            .collect();
+        // Every matrix kernel must read at least one declared weight region.
+        for kernel in run.trace() {
+            if matches!(kernel.kind, KernelKind::Sgemv | KernelKind::Sgemm) {
+                assert!(
+                    kernel.reads.iter().any(|a| weight_regions.contains(&a.region)),
+                    "kernel {} reads no weight region",
+                    kernel.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn optimized_outputs_cover_every_timestep_once() {
+    let (net, xs, predictors) = setup();
+    for alpha in [0.5, 2.0, 8.0, 33.0] {
+        let config = OptimizerConfig::inter_only(alpha, 3);
+        let run = OptimizedExecutor::new(&net, &predictors, config).run(&xs);
+        for layer in &run.layers {
+            assert_eq!(layer.hs.len(), xs.len());
+            for h in &layer.hs {
+                assert_eq!(h.len(), 48);
+                assert!(h.max_abs() <= 1.0, "h escaped the LSTM output range");
+            }
+        }
+    }
+}
+
+#[test]
+fn determinism_across_runs() {
+    let (net, xs, predictors) = setup();
+    let config =
+        OptimizerConfig::combined(2.0, 4, DrsConfig { alpha_intra: 0.08, mode: DrsMode::Hardware });
+    let exec = OptimizedExecutor::new(&net, &predictors, config);
+    let a = exec.run(&xs);
+    let b = exec.run(&xs);
+    assert_eq!(a.logits, b.logits);
+    assert_eq!(a.trace().count(), b.trace().count());
+}
+
+#[test]
+fn gru_masked_step_converges_to_exact() {
+    // The paper's "applies to GRUs with simple adjustment" claim.
+    use lstm::gru::GruWeights;
+    let mut rng = seeded_rng(5);
+    let w = GruWeights::random(16, 24, &mut rng);
+    let mut h_exact = Vector::zeros(24);
+    let mut h_masked = Vector::zeros(24);
+    use rand::Rng;
+    for _ in 0..8 {
+        let x = Vector::from_fn(16, |_| rng.gen_range(-1.0f32..1.0));
+        let z = w.update_gate(&x, &h_masked);
+        let active = memlstm::drs::trivial_row_mask(&z, 0.02);
+        h_exact = w.step(&x, &h_exact);
+        h_masked = w.step_masked(&x, &h_masked, &z, &active);
+    }
+    // Skipping only the near-closed update gates keeps trajectories close.
+    let diff = h_exact.sub(&h_masked).max_abs();
+    assert!(diff < 0.25, "GRU DRS diverged: {diff}");
+}
