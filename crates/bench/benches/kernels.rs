@@ -33,8 +33,9 @@ fn bench_tissue_gemm(c: &mut Criterion) {
     let mut rng = seeded_rng(2);
     let u = gaussian_matrix(&mut rng, 4 * hidden, hidden, 0.05);
     for tissue in [1usize, 3, 5] {
-        let cols: Vec<Vector> =
-            (0..tissue).map(|k| Vector::from_fn(hidden, |i| ((i + k) as f32).cos())).collect();
+        let cols: Vec<Vector> = (0..tissue)
+            .map(|k| Vector::from_fn(hidden, |i| ((i + k) as f32).cos()))
+            .collect();
         let refs: Vec<&Vector> = cols.iter().collect();
         let h = Matrix::from_columns(&refs);
         group.bench_with_input(BenchmarkId::from_parameter(tissue), &tissue, |b, _| {
@@ -60,7 +61,13 @@ fn bench_cell_step(c: &mut Criterion) {
     let mask = memlstm::drs::trivial_row_mask(&o, 0.06);
     group.bench_function("masked", |b| {
         b.iter(|| {
-            cell.step_masked(black_box(&wx), black_box(&h), black_box(&cst), black_box(&o), &mask)
+            cell.step_masked(
+                black_box(&wx),
+                black_box(&h),
+                black_box(&cst),
+                black_box(&o),
+                &mask,
+            )
         })
     });
     group.finish();

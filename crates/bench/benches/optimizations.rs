@@ -19,8 +19,9 @@ fn setup() -> (LstmNetwork, Vec<tensor::Vector>, NetworkPredictors) {
     let mut rng = seeded_rng(9);
     let net = LstmNetwork::random(&config, &mut rng);
     let xs = lstm::random_inputs(&config, &mut rng);
-    let offline: Vec<Vec<tensor::Vector>> =
-        (0..3).map(|_| lstm::random_inputs(&config, &mut rng)).collect();
+    let offline: Vec<Vec<tensor::Vector>> = (0..3)
+        .map(|_| lstm::random_inputs(&config, &mut rng))
+        .collect();
     let predictors = NetworkPredictors::collect(&net, &offline);
     (net, xs, predictors)
 }
@@ -47,8 +48,15 @@ fn bench_scheduling(c: &mut Criterion) {
     });
     group.finish();
 
-    let relevances: Vec<f64> =
-        (0..200).map(|i| if i == 0 { f64::INFINITY } else { (i % 13) as f64 }).collect();
+    let relevances: Vec<f64> = (0..200)
+        .map(|i| {
+            if i == 0 {
+                f64::INFINITY
+            } else {
+                (i % 13) as f64
+            }
+        })
+        .collect();
     c.bench_function("breakpoint_search/200cells", |b| {
         b.iter(|| find_breakpoints(black_box(&relevances), 6.0))
     });
@@ -78,7 +86,10 @@ fn bench_executors(c: &mut Criterion) {
         let config = OptimizerConfig::combined(
             1.0,
             5,
-            DrsConfig { alpha_intra: 0.06, mode: DrsMode::Hardware },
+            DrsConfig {
+                alpha_intra: 0.06,
+                mode: DrsMode::Hardware,
+            },
         );
         let exec = OptimizedExecutor::new(&net, &predictors, config);
         b.iter(|| exec.run(black_box(&xs)))
@@ -98,5 +109,11 @@ fn bench_simulator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_relevance, bench_scheduling, bench_executors, bench_simulator);
+criterion_group!(
+    benches,
+    bench_relevance,
+    bench_scheduling,
+    bench_executors,
+    bench_simulator
+);
 criterion_main!(benches);

@@ -25,9 +25,8 @@ fn measure(
 /// The ablation table: each row knocks out one design choice at the
 /// combined AO operating point.
 pub fn ablations(session: &mut Session) -> String {
-    let mut out = String::from(
-        "Ablations (beyond paper) — knock out one design choice at the AO point\n",
-    );
+    let mut out =
+        String::from("Ablations (beyond paper) — knock out one design choice at the AO point\n");
     for benchmark in session.benchmarks() {
         let ao = *select_ao(&session.sweep(benchmark, Level::Combined));
         let base_config = {
@@ -37,9 +36,27 @@ pub fn ablations(session: &mut Session) -> String {
         let mut table = TextTable::new(["variant", "speedup", "accuracy%"]);
         let variants: Vec<(&str, OptimizerConfig)> = vec![
             ("paper (full)", base_config),
-            ("no tissue alignment", OptimizerConfig { align: false, ..base_config }),
-            ("zero-link recovery", OptimizerConfig { use_predicted_link: false, ..base_config }),
-            ("balanced scheduler", OptimizerConfig { balanced_schedule: true, ..base_config }),
+            (
+                "no tissue alignment",
+                OptimizerConfig {
+                    align: false,
+                    ..base_config
+                },
+            ),
+            (
+                "zero-link recovery",
+                OptimizerConfig {
+                    use_predicted_link: false,
+                    ..base_config
+                },
+            ),
+            (
+                "balanced scheduler",
+                OptimizerConfig {
+                    balanced_schedule: true,
+                    ..base_config
+                },
+            ),
         ];
         for (name, config) in variants {
             let (speedup, accuracy) = measure(session, benchmark, config);
@@ -97,13 +114,18 @@ pub fn gru_demo(_session: &mut Session) -> String {
 pub fn gpu_scaling(_session: &mut Session) -> String {
     use memlstm::mts::determine_mts;
     let mut table = TextTable::new(["GPU", "hidden", "MTS", "peak speedup vs t=1"]);
-    for (name, cfg) in
-        [("Tegra X1", GpuConfig::tegra_x1()), ("2x Tegra X1", GpuConfig::tegra_x1_2x())]
-    {
+    for (name, cfg) in [
+        ("Tegra X1", GpuConfig::tegra_x1()),
+        ("2x Tegra X1", GpuConfig::tegra_x1_2x()),
+    ] {
         for hidden in [256usize, 512] {
             let result = determine_mts(&cfg, hidden, 12);
             let perf = result.normalized_performance();
-            let at_mts = perf.iter().find(|(t, _)| *t == result.mts).map(|(_, p)| *p).unwrap_or(1.0);
+            let at_mts = perf
+                .iter()
+                .find(|(t, _)| *t == result.mts)
+                .map(|(_, p)| *p)
+                .unwrap_or(1.0);
             table.row([
                 name.to_owned(),
                 format!("{hidden}"),

@@ -14,13 +14,19 @@ use bench_harness::{
 };
 use std::env;
 
+type Experiment = (&'static str, fn(&mut Session) -> String);
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let what = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_default();
     let mut session = Session::new(fast);
 
-    let experiments: Vec<(&str, fn(&mut Session) -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("table1", |_s| tables::table1()),
         ("table2", |_s| tables::table2()),
         ("fig4", figures_memory::fig4),
@@ -56,7 +62,11 @@ fn main() {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
                     "usage: repro <{}|all> [--fast]",
-                    experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>().join("|")
+                    experiments
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join("|")
                 );
                 std::process::exit(2);
             }

@@ -22,24 +22,49 @@ pub struct EvalBudget {
 /// The default budget for a benchmark (scaled to its per-sequence cost).
 pub fn budget_for(benchmark: Benchmark) -> EvalBudget {
     match benchmark {
-        Benchmark::Mr => EvalBudget { accuracy_seqs: 24, perf_seqs: 2 },
-        Benchmark::Babi => EvalBudget { accuracy_seqs: 8, perf_seqs: 2 },
-        Benchmark::Snli => EvalBudget { accuracy_seqs: 8, perf_seqs: 2 },
-        Benchmark::Imdb => EvalBudget { accuracy_seqs: 6, perf_seqs: 2 },
-        Benchmark::Mt => EvalBudget { accuracy_seqs: 6, perf_seqs: 2 },
-        Benchmark::Ptb => EvalBudget { accuracy_seqs: 4, perf_seqs: 1 },
+        Benchmark::Mr => EvalBudget {
+            accuracy_seqs: 24,
+            perf_seqs: 2,
+        },
+        Benchmark::Babi => EvalBudget {
+            accuracy_seqs: 8,
+            perf_seqs: 2,
+        },
+        Benchmark::Snli => EvalBudget {
+            accuracy_seqs: 8,
+            perf_seqs: 2,
+        },
+        Benchmark::Imdb => EvalBudget {
+            accuracy_seqs: 6,
+            perf_seqs: 2,
+        },
+        Benchmark::Mt => EvalBudget {
+            accuracy_seqs: 6,
+            perf_seqs: 2,
+        },
+        Benchmark::Ptb => EvalBudget {
+            accuracy_seqs: 4,
+            perf_seqs: 1,
+        },
     }
 }
 
 /// A smaller budget for `--fast` smoke runs.
 pub fn fast_budget() -> EvalBudget {
-    EvalBudget { accuracy_seqs: 2, perf_seqs: 1 }
+    EvalBudget {
+        accuracy_seqs: 2,
+        perf_seqs: 1,
+    }
 }
 
 /// Builds the evaluator (offline phase included) for one benchmark on the
 /// Tegra X1, with its default budget.
 pub fn evaluator_for(benchmark: Benchmark, fast: bool) -> Evaluator {
-    let budget = if fast { fast_budget() } else { budget_for(benchmark) };
+    let budget = if fast {
+        fast_budget()
+    } else {
+        budget_for(benchmark)
+    };
     let workload = Workload::generate(benchmark, budget.accuracy_seqs, 0xBEEF);
     Evaluator::new(workload, GpuConfig::tegra_x1())
         .with_budget(budget.perf_seqs, budget.accuracy_seqs)

@@ -21,8 +21,10 @@ fn baseline_sgemv_profile(
     let mut device = GpuDevice::new(GpuConfig::tegra_x1());
     run.declare_regions(&mut device, net);
     let mut sgemv_stall = StallBreakdown::default();
-    let mut report =
-        gpu_sim::SimReport::empty(device.config().peak_dram_bytes_per_s(), device.config().smem_bytes_per_s());
+    let mut report = gpu_sim::SimReport::empty(
+        device.config().peak_dram_bytes_per_s(),
+        device.config().smem_bytes_per_s(),
+    );
     for kernel in run.trace() {
         let k = device.launch(kernel);
         if k.kind == KernelKind::Sgemv {
@@ -71,8 +73,14 @@ pub fn fig6(session: &mut Session) -> String {
         let (_, report, _) = baseline_sgemv_profile(session, benchmark);
         table.row([
             benchmark.name().to_owned(),
-            format!("{:.1}", report.dram_utilization_of(KernelKind::Sgemv) * 100.0),
-            format!("{:.1}", report.smem_utilization_of(KernelKind::Sgemv) * 100.0),
+            format!(
+                "{:.1}",
+                report.dram_utilization_of(KernelKind::Sgemv) * 100.0
+            ),
+            format!(
+                "{:.1}",
+                report.smem_utilization_of(KernelKind::Sgemv) * 100.0
+            ),
         ]);
     }
     format!(
@@ -97,10 +105,18 @@ pub fn fig9(session: &mut Session) -> String {
                 format!("{}", sample.tissue_size),
                 format!("{perf:.2}"),
                 format!("{:.1}", sample.smem_utilization * 100.0),
-                if sample.reconfigured { "yes".to_owned() } else { "no".to_owned() },
+                if sample.reconfigured {
+                    "yes".to_owned()
+                } else {
+                    "no".to_owned()
+                },
             ]);
         }
-        out.push_str(&format!("\n{} (hidden {hidden}): MTS = {}\n{table}", benchmark.name(), result.mts));
+        out.push_str(&format!(
+            "\n{} (hidden {hidden}): MTS = {}\n{table}",
+            benchmark.name(),
+            result.mts
+        ));
     }
     out
 }

@@ -36,8 +36,7 @@ pub fn fig14(session: &mut Session) -> String {
         // The combined system's thresholds come from the Fig. 10 step-3
         // accuracy-feedback loop, not the diagonal sweep.
         let ev = session.evaluator(*benchmark);
-        let (_, combined) =
-            memlstm::thresholds::tune_combined_ao(ev, &inter_points, &intra_points);
+        let (_, combined) = memlstm::thresholds::tune_combined_ao(ev, &inter_points, &intra_points);
         table.row([
             benchmark.name().to_owned(),
             format!("{:.2}", inter.speedup),
@@ -89,8 +88,11 @@ pub fn fig15(session: &mut Session) -> String {
         "Fig. 15 — per-layer inter-cell gains at the AO threshold\n\
          paper: earlier layers divide better (context links more distinct)\n",
     );
-    let benchmarks: Vec<_> =
-        session.benchmarks().into_iter().filter(|b| b.spec().num_layers > 1).collect();
+    let benchmarks: Vec<_> = session
+        .benchmarks()
+        .into_iter()
+        .filter(|b| b.spec().num_layers > 1)
+        .collect();
     for benchmark in benchmarks {
         let ao = *select_ao(&session.sweep(benchmark, Level::Inter));
         let ev = session.evaluator(benchmark);
@@ -101,8 +103,7 @@ pub fn fig15(session: &mut Session) -> String {
         let config = OptimizerConfig::inter_only(ao.set.alpha_inter, ev.mts());
         let opt_run = OptimizedExecutor::new(net, ev.predictors(), config).run(xs);
         let mut table = TextTable::new(["layer", "speedup", "energy saving%"]);
-        for (l, (base_layer, opt_layer)) in
-            base_run.layers.iter().zip(&opt_run.layers).enumerate()
+        for (l, (base_layer, opt_layer)) in base_run.layers.iter().zip(&opt_run.layers).enumerate()
         {
             let mut device = GpuDevice::new(GpuConfig::tegra_x1());
             let base = device.run_trace(&base_layer.trace);
@@ -111,7 +112,10 @@ pub fn fig15(session: &mut Session) -> String {
             table.row([
                 format!("layer {}", l + 1),
                 format!("{:.2}x", base.time_s / opt.time_s),
-                format!("{:.1}", (1.0 - opt.energy.total_j() / base.energy.total_j()) * 100.0),
+                format!(
+                    "{:.1}",
+                    (1.0 - opt.energy.total_j() / base.energy.total_j()) * 100.0
+                ),
             ]);
         }
         out.push_str(&format!("\n{}\n{table}", benchmark.name()));
@@ -179,8 +183,14 @@ pub fn fig16(session: &mut Session) -> String {
         entry.3 += 1;
 
         // Software and hardware DRS at the intra AO threshold.
-        for (label, mode) in [("software DRS", DrsMode::Software), ("hardware DRS", DrsMode::Hardware)] {
-            let config = OptimizerConfig::intra_only(DrsConfig { alpha_intra: alpha, mode });
+        for (label, mode) in [
+            ("software DRS", DrsMode::Software),
+            ("hardware DRS", DrsMode::Hardware),
+        ] {
+            let config = OptimizerConfig::intra_only(DrsConfig {
+                alpha_intra: alpha,
+                mode,
+            });
             let (perf, acc, stats) = ev.evaluate(config);
             let compression = stats.mean_skip_fraction() * 0.75;
             let speedup = base.time_s / perf.time_s;
@@ -202,7 +212,12 @@ pub fn fig16(session: &mut Session) -> String {
             entry.3 += 1;
         }
     }
-    let mut summary = TextTable::new(["scheme", "avg compression%", "avg speedup", "avg power sav%"]);
+    let mut summary = TextTable::new([
+        "scheme",
+        "avg compression%",
+        "avg speedup",
+        "avg power sav%",
+    ]);
     for (label, (c, s, p, n)) in &sums {
         let n = *n as f64;
         summary.row([

@@ -13,8 +13,7 @@ use tensor::init::seeded_rng;
 pub fn fig18(session: &mut Session) -> String {
     let mut rng = seeded_rng(0x57D1);
     let study = UserStudy::recruit(30, 25, &mut rng);
-    let mut table =
-        TextTable::new(["application", "Baseline", "AO", "BPA", "UO"]);
+    let mut table = TextTable::new(["application", "Baseline", "AO", "BPA", "UO"]);
     let mut sums = [0.0f64; 4];
     let benchmarks = session.benchmarks();
     for benchmark in &benchmarks {

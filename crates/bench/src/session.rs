@@ -34,7 +34,11 @@ pub struct Session {
 impl Session {
     /// Creates a session; `fast` shrinks evaluation budgets for smoke runs.
     pub fn new(fast: bool) -> Self {
-        Self { fast, evaluators: BTreeMap::new(), sweeps: BTreeMap::new() }
+        Self {
+            fast,
+            evaluators: BTreeMap::new(),
+            sweeps: BTreeMap::new(),
+        }
     }
 
     /// Whether this is a fast (smoke) session.
@@ -47,7 +51,11 @@ impl Session {
         let fast = self.fast;
         self.evaluators.entry(benchmark).or_insert_with(|| {
             eprintln!("[session] preparing {benchmark} (offline phase)...");
-            let budget = if fast { fast_budget() } else { budget_for(benchmark) };
+            let budget = if fast {
+                fast_budget()
+            } else {
+                budget_for(benchmark)
+            };
             let workload = Workload::generate(benchmark, budget.accuracy_seqs, 0xBEEF);
             Evaluator::new(workload, GpuConfig::tegra_x1())
                 .with_budget(budget.perf_seqs, budget.accuracy_seqs)
@@ -61,7 +69,12 @@ impl Session {
     }
 
     /// The configuration a threshold set maps to at a given level.
-    pub fn config_for(&mut self, benchmark: Benchmark, level: Level, set: &ThresholdSet) -> OptimizerConfig {
+    pub fn config_for(
+        &mut self,
+        benchmark: Benchmark,
+        level: Level,
+        set: &ThresholdSet,
+    ) -> OptimizerConfig {
         let mts = self.evaluator(benchmark).mts();
         match level {
             Level::Inter => OptimizerConfig::inter_only(set.alpha_inter, mts),
@@ -72,7 +85,10 @@ impl Session {
             Level::Combined => OptimizerConfig::combined(
                 set.alpha_inter,
                 mts,
-                DrsConfig { alpha_intra: set.alpha_intra, mode: DrsMode::Hardware },
+                DrsConfig {
+                    alpha_intra: set.alpha_intra,
+                    mode: DrsMode::Hardware,
+                },
             ),
         }
     }
@@ -84,8 +100,10 @@ impl Session {
         }
         eprintln!("[session] sweeping {benchmark} ({level:?})...");
         let sets = self.sets(benchmark);
-        let configs: Vec<_> =
-            sets.iter().map(|s| (s, self.config_for(benchmark, level, s))).collect();
+        let configs: Vec<_> = sets
+            .iter()
+            .map(|s| (s, self.config_for(benchmark, level, s)))
+            .collect();
         let configs: Vec<(ThresholdSet, OptimizerConfig)> =
             configs.into_iter().map(|(s, c)| (*s, c)).collect();
         let ev = self.evaluator(benchmark);

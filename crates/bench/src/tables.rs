@@ -14,7 +14,10 @@ pub fn table1() -> String {
     table
         .row(["System", "Tegra X1 SoC (simulated)"])
         .row(["CPU", "Cortex-A57 + Cortex-A53 (static system rail)"])
-        .row(["Memory", &format!("4GB LPDDR4, {:.1} GB/s", cfg.dram_bandwidth_gbps)])
+        .row([
+            "Memory",
+            &format!("4GB LPDDR4, {:.1} GB/s", cfg.dram_bandwidth_gbps),
+        ])
         .row([
             "GPU",
             &format!(

@@ -72,7 +72,10 @@ pub struct RegionCache {
 impl RegionCache {
     /// Creates a cache of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, resident: Vec::new() }
+        Self {
+            capacity,
+            resident: Vec::new(),
+        }
     }
 
     /// Capacity in bytes.
@@ -87,7 +90,10 @@ impl RegionCache {
 
     /// Bytes of `region` currently resident.
     pub fn resident_of(&self, region: RegionId) -> u64 {
-        self.resident.iter().find(|(r, _)| *r == region).map_or(0, |(_, b)| *b)
+        self.resident
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map_or(0, |(_, b)| *b)
     }
 
     /// Empties the cache.
@@ -110,7 +116,10 @@ impl RegionCache {
             // region effectively non-resident for sequential reuse (its
             // resident tail never matches the next pass's head).
             self.resident.clear();
-            return AccessOutcome { hit_bytes: prev_resident.min(bytes), miss_bytes: bytes - prev_resident.min(bytes) };
+            return AccessOutcome {
+                hit_bytes: prev_resident.min(bytes),
+                miss_bytes: bytes - prev_resident.min(bytes),
+            };
         }
 
         let hit = prev_resident.min(bytes);
@@ -122,7 +131,10 @@ impl RegionCache {
             free += evicted;
         }
         self.resident.push((region, bytes));
-        AccessOutcome { hit_bytes: hit, miss_bytes: miss }
+        AccessOutcome {
+            hit_bytes: hit,
+            miss_bytes: miss,
+        }
     }
 }
 
@@ -154,7 +166,14 @@ impl LineCache {
             capacity,
             "LineCache: geometry does not divide capacity"
         );
-        Self { line_bytes, num_sets, ways, sets: vec![Vec::new(); num_sets as usize], hits: 0, misses: 0 }
+        Self {
+            line_bytes,
+            num_sets,
+            ways,
+            sets: vec![Vec::new(); num_sets as usize],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Total line hits so far.
@@ -183,7 +202,10 @@ impl LineCache {
         let last_line = (offset + bytes - 1) / self.line_bytes;
         for line in first_line..=last_line {
             // Unique address = (region, line); distribute across sets.
-            let addr = region.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(line);
+            let addr = region
+                .raw()
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(line);
             let set_idx = (addr % self.num_sets) as usize;
             let tag = line;
             let set = &mut self.sets[set_idx];
@@ -342,7 +364,10 @@ mod tests {
         c.access(r, 0, cap * 4);
         let second = c.access(r, 0, cap * 4);
         let hit_frac = second.hit_bytes as f64 / (cap * 4) as f64;
-        assert!(hit_frac < 0.05, "unexpected reuse across streaming passes: {hit_frac}");
+        assert!(
+            hit_frac < 0.05,
+            "unexpected reuse across streaming passes: {hit_frac}"
+        );
     }
 
     #[test]

@@ -25,7 +25,12 @@ impl GpuDevice {
     /// Creates a device with the paper's CRM configuration.
     pub fn new(config: GpuConfig) -> Self {
         let l2 = RegionCache::new(config.l2_bytes as u64);
-        Self { config, crm: CrmModel::paper(), l2, reload: ReloadTracker::new() }
+        Self {
+            config,
+            crm: CrmModel::paper(),
+            l2,
+            reload: ReloadTracker::new(),
+        }
     }
 
     /// The device configuration.
@@ -75,7 +80,8 @@ impl GpuDevice {
 
         let timing = kernel_time(&self.config, desc, dram_bytes);
         let crm_s = if desc.uses_crm {
-            self.crm.reorg_time_s(&self.config, desc.threads, desc.skipped_threads)
+            self.crm
+                .reorg_time_s(&self.config, desc.threads, desc.skipped_threads)
         } else {
             0.0
         };
@@ -98,22 +104,74 @@ impl GpuDevice {
         }
     }
 
-    /// Simulates a whole trace (kernels execute back-to-back) and returns
-    /// the aggregate report with energy attached.
-    pub fn run_trace<'a>(&mut self, trace: impl IntoIterator<Item = &'a KernelDesc>) -> SimReport {
-        let mut report = SimReport::empty(
+    /// Starts an incremental pricing session: kernels are priced one at a
+    /// time as a runtime produces them, without materializing a whole-run
+    /// trace first. [`TraceSession::finish`] attaches energy exactly as
+    /// [`run_trace`](Self::run_trace) does — the two paths are guaranteed
+    /// to price identically because `run_trace` is implemented on top of
+    /// this session.
+    pub fn begin_trace(&mut self) -> TraceSession<'_> {
+        let report = SimReport::empty(
             self.config.peak_dram_bytes_per_s(),
             self.config.smem_bytes_per_s(),
         );
-        let mut crm_energy_frac_time = 0.0f64;
-        for desc in trace {
-            let k = self.launch(desc);
-            if desc.uses_crm {
-                crm_energy_frac_time += k.time_s;
-            }
-            report.absorb(&k);
+        TraceSession {
+            device: self,
+            report,
+            crm_energy_frac_time: 0.0,
         }
-        report.energy = self.config.energy.energy(
+    }
+
+    /// Simulates a whole trace (kernels execute back-to-back) and returns
+    /// the aggregate report with energy attached.
+    pub fn run_trace<'a>(&mut self, trace: impl IntoIterator<Item = &'a KernelDesc>) -> SimReport {
+        let mut session = self.begin_trace();
+        for desc in trace {
+            session.price_kernel(desc);
+        }
+        session.finish()
+    }
+}
+
+/// An in-progress incremental pricing run over one [`GpuDevice`].
+///
+/// Created by [`GpuDevice::begin_trace`]. Each [`price_kernel`]
+/// (Self::price_kernel) call advances the device's L2/reload state and folds
+/// the kernel into the running [`SimReport`]; [`finish`](Self::finish)
+/// attaches the energy model (including the CRM power overhead, which needs
+/// the whole-run time split and therefore cannot be charged per kernel).
+#[derive(Debug)]
+pub struct TraceSession<'d> {
+    device: &'d mut GpuDevice,
+    report: SimReport,
+    crm_energy_frac_time: f64,
+}
+
+impl TraceSession<'_> {
+    /// Prices one kernel launch and folds it into the running aggregate.
+    pub fn price_kernel(&mut self, desc: &KernelDesc) -> KernelReport {
+        let k = self.device.launch(desc);
+        if desc.uses_crm {
+            self.crm_energy_frac_time += k.time_s;
+        }
+        self.report.absorb(&k);
+        k
+    }
+
+    /// The aggregate so far (energy not yet attached).
+    pub fn report_so_far(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// The device being driven (e.g. to declare regions mid-stream).
+    pub fn device(&mut self) -> &mut GpuDevice {
+        self.device
+    }
+
+    /// Completes the session: attaches energy and the CRM power overhead.
+    pub fn finish(self) -> SimReport {
+        let mut report = self.report;
+        report.energy = self.device.config.energy.energy(
             report.time_s,
             report.flops,
             report.dram_bytes(),
@@ -121,10 +179,10 @@ impl GpuDevice {
             report.launches,
         );
         // CRM power overhead applies while CRM-routed kernels run.
-        if crm_energy_frac_time > 0.0 && report.time_s > 0.0 {
+        if self.crm_energy_frac_time > 0.0 && report.time_s > 0.0 {
             let dynamic = report.energy.compute_j + report.energy.dram_j + report.energy.smem_j;
-            let frac = crm_energy_frac_time / report.time_s;
-            report.energy.compute_j += dynamic * frac * self.crm.energy_overhead_frac();
+            let frac = self.crm_energy_frac_time / report.time_s;
+            report.energy.compute_j += dynamic * frac * self.device.crm.energy_overhead_frac();
         }
         report
     }
@@ -134,6 +192,43 @@ impl GpuDevice {
 mod tests {
     use super::*;
     use crate::kernel::KernelKind;
+
+    #[test]
+    fn incremental_session_matches_run_trace_exactly() {
+        let h = 384;
+        let u = RegionId::new(1);
+        let mut trace: Vec<KernelDesc> = (0..12).map(|_| sgemv_cell(u, h)).collect();
+        trace[5].uses_crm = true;
+        trace[5].skipped_threads = 200;
+
+        let mut batch_dev = GpuDevice::new(GpuConfig::tegra_x1());
+        batch_dev.declare_region(u, 4 * h * h * 4);
+        let batch = batch_dev.run_trace(&trace);
+
+        let mut inc_dev = GpuDevice::new(GpuConfig::tegra_x1());
+        inc_dev.declare_region(u, 4 * h * h * 4);
+        let mut session = inc_dev.begin_trace();
+        for k in &trace {
+            session.price_kernel(k);
+        }
+        let incremental = session.finish();
+
+        assert_eq!(batch, incremental);
+        assert_eq!(batch_dev.max_reload_factor(), inc_dev.max_reload_factor());
+    }
+
+    #[test]
+    fn session_report_so_far_tracks_partial_progress() {
+        let mut dev = GpuDevice::new(GpuConfig::tegra_x1());
+        let mut session = dev.begin_trace();
+        assert_eq!(session.report_so_far().launches, 0);
+        session.price_kernel(&sgemv_cell(RegionId::new(1), 128));
+        assert_eq!(session.report_so_far().launches, 1);
+        assert!(session.report_so_far().time_s > 0.0);
+        // Energy is only attached at finish.
+        assert_eq!(session.report_so_far().energy.total_j(), 0.0);
+        assert!(session.finish().energy.total_j() > 0.0);
+    }
 
     fn sgemv_cell(weights: RegionId, h: u64) -> KernelDesc {
         let bytes = 4 * h * h * 4;
@@ -160,7 +255,11 @@ mod tests {
         assert_eq!(report.launches, 20);
         // All 20 cells load the matrix from DRAM.
         let expected = 20 * 4 * h * h * 4;
-        assert!(report.dram_read_bytes >= expected, "{}", report.dram_read_bytes);
+        assert!(
+            report.dram_read_bytes >= expected,
+            "{}",
+            report.dram_read_bytes
+        );
         assert!(dev.max_reload_factor() >= 19.9);
     }
 

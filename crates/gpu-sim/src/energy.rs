@@ -154,6 +154,10 @@ mod tests {
         let m = EnergyModel::tegra_x1();
         let e = m.energy(0.0, 1_000_000_000, 1_000_000_000, 0, 0);
         assert!(e.dram_j > 0.01 && e.dram_j < 0.1, "dram_j={}", e.dram_j);
-        assert!(e.compute_j > 0.001 && e.compute_j < 0.01, "compute_j={}", e.compute_j);
+        assert!(
+            e.compute_j > 0.001 && e.compute_j < 0.01,
+            "compute_j={}",
+            e.compute_j
+        );
     }
 }

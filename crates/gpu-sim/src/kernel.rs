@@ -238,21 +238,29 @@ mod tests {
 
     #[test]
     fn divergence_clamped_to_one() {
-        let k = KernelDesc::builder("x", KernelKind::Other).divergence(0.25).build();
+        let k = KernelDesc::builder("x", KernelKind::Other)
+            .divergence(0.25)
+            .build();
         assert_eq!(k.divergence, 1.0);
     }
 
     #[test]
     fn cta_count_rounds_up() {
-        let k = KernelDesc::builder("x", KernelKind::Other).threads(130, 128).build();
+        let k = KernelDesc::builder("x", KernelKind::Other)
+            .threads(130, 128)
+            .build();
         assert_eq!(k.num_ctas(), 2);
     }
 
     #[test]
     fn dram_derate_is_clamped() {
-        let k = KernelDesc::builder("x", KernelKind::Other).dram_derate(2.0).build();
+        let k = KernelDesc::builder("x", KernelKind::Other)
+            .dram_derate(2.0)
+            .build();
         assert_eq!(k.dram_derate, 1.0);
-        let k = KernelDesc::builder("x", KernelKind::Other).dram_derate(0.5).build();
+        let k = KernelDesc::builder("x", KernelKind::Other)
+            .dram_derate(0.5)
+            .build();
         assert_eq!(k.dram_derate, 0.5);
         let k = KernelDesc::builder("x", KernelKind::Other).build();
         assert_eq!(k.dram_derate, 1.0);

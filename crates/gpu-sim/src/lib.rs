@@ -53,7 +53,7 @@ pub mod timing;
 pub use cache::{LineCache, RegionCache, RegionId};
 pub use config::GpuConfig;
 pub use crm::CrmModel;
-pub use device::GpuDevice;
+pub use device::{GpuDevice, TraceSession};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use kernel::{KernelDesc, KernelKind, MemAccess};
 pub use report::{KernelReport, SimReport, StallBreakdown};

@@ -252,7 +252,9 @@ impl SimReport {
         if self.time_s <= 0.0 {
             return 0.0;
         }
-        self.per_kind.get(kind.label()).map_or(0.0, |s| s.time_s / self.time_s)
+        self.per_kind
+            .get(kind.label())
+            .map_or(0.0, |s| s.time_s / self.time_s)
     }
 }
 
@@ -272,7 +274,10 @@ mod tests {
             l2_hit_bytes: 0,
             smem_bytes: 100,
             flops: 10,
-            stall: StallBreakdown { off_chip_s: time / 2.0, ..Default::default() },
+            stall: StallBreakdown {
+                off_chip_s: time / 2.0,
+                ..Default::default()
+            },
             bound: BoundResource::OffChip,
             reconfigured: false,
             crm_s: 0.0,
@@ -333,7 +338,10 @@ mod tests {
         };
         let (a, b, c, d, e) = s.fractions();
         assert!((a + b + c + d + e - 1.0).abs() < 1e-12);
-        assert_eq!(StallBreakdown::default().fractions(), (0.0, 0.0, 0.0, 0.0, 0.0));
+        assert_eq!(
+            StallBreakdown::default().fractions(),
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        );
     }
 
     #[test]

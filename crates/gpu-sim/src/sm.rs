@@ -36,7 +36,12 @@ pub fn analyze(config: &GpuConfig, kernel: &KernelDesc) -> Occupancy {
     let cta_size = kernel.cta_size.max(1);
     let total_ctas = kernel.num_ctas();
     if total_ctas == 0 {
-        return Occupancy { ctas_per_sm: 0, threads_per_sm: 0, occupancy: 0.0, waves: 0 };
+        return Occupancy {
+            ctas_per_sm: 0,
+            threads_per_sm: 0,
+            occupancy: 0.0,
+            waves: 0,
+        };
     }
     let by_threads = config.max_threads_per_sm / cta_size;
     let ctas_per_sm = by_threads.clamp(1, MAX_CTAS_PER_SM);
@@ -44,7 +49,12 @@ pub fn analyze(config: &GpuConfig, kernel: &KernelDesc) -> Occupancy {
     let occupancy = f64::from(threads_per_sm) / f64::from(config.max_threads_per_sm);
     let device_capacity = ctas_per_sm * config.num_sms;
     let waves = total_ctas.div_ceil(device_capacity);
-    Occupancy { ctas_per_sm, threads_per_sm, occupancy, waves }
+    Occupancy {
+        ctas_per_sm,
+        threads_per_sm,
+        occupancy,
+        waves,
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +109,14 @@ mod tests {
     fn empty_grid_is_zero() {
         let cfg = GpuConfig::tegra_x1();
         let occ = analyze(&cfg, &kernel(0, 128));
-        assert_eq!(occ, Occupancy { ctas_per_sm: 0, threads_per_sm: 0, occupancy: 0.0, waves: 0 });
+        assert_eq!(
+            occ,
+            Occupancy {
+                ctas_per_sm: 0,
+                threads_per_sm: 0,
+                occupancy: 0.0,
+                waves: 0
+            }
+        );
     }
 }

@@ -80,7 +80,11 @@ pub fn kernel_time(cfg: &GpuConfig, desc: &KernelDesc, dram_bytes: u64) -> Kerne
     let on_chip_stall = (exec - t_compute.max(t_dram)).max(0.0).min(exec);
     let stall = StallBreakdown {
         off_chip_s: off_chip_stall,
-        on_chip_s: if bound == BoundResource::OnChip { on_chip_stall } else { 0.0 },
+        on_chip_s: if bound == BoundResource::OnChip {
+            on_chip_stall
+        } else {
+            0.0
+        },
         barrier_s,
         exec_dep_s: EXEC_DEP_FRACTION * t_compute,
         other_s: OTHER_FRACTION * exec,
@@ -175,7 +179,11 @@ mod tests {
         let desc = gemv_like(2 * 4 * h * h, 4 * h * h * 4 / 8);
         let t = kernel_time(&cfg(), &desc, 4 * h * h * 4);
         let total = t.stall.total_s();
-        assert!(t.stall.off_chip_s / total > 0.6, "off-chip share {}", t.stall.off_chip_s / total);
+        assert!(
+            t.stall.off_chip_s / total > 0.6,
+            "off-chip share {}",
+            t.stall.off_chip_s / total
+        );
     }
 
     #[test]

@@ -58,10 +58,19 @@ impl ModelConfig {
             ("num_classes", num_classes),
         ] {
             if v == 0 {
-                return Err(InvalidConfigError(format!("{label} must be positive ({name})")));
+                return Err(InvalidConfigError(format!(
+                    "{label} must be positive ({name})"
+                )));
             }
         }
-        Ok(Self { name, input_dim, hidden_size, num_layers, seq_len, num_classes })
+        Ok(Self {
+            name,
+            input_dim,
+            hidden_size,
+            num_layers,
+            seq_len,
+            num_classes,
+        })
     }
 
     /// Input dimensionality seen by layer `layer` (the first layer reads
@@ -88,18 +97,28 @@ impl ModelConfig {
     /// Total weight bytes across all layers (U + W + biases).
     pub fn total_weight_bytes(&self) -> u64 {
         (0..self.num_layers)
-            .map(|l| self.united_u_bytes() + self.united_w_bytes(l) + 4 * self.hidden_size as u64 * 4)
+            .map(|l| {
+                self.united_u_bytes() + self.united_w_bytes(l) + 4 * self.hidden_size as u64 * 4
+            })
             .sum()
     }
 
     /// Returns a copy with a different hidden size (Fig. 17a sweeps).
     pub fn with_hidden_size(&self, hidden_size: usize) -> Self {
-        Self { hidden_size, name: self.name.clone(), ..*self }
+        Self {
+            hidden_size,
+            name: self.name.clone(),
+            ..*self
+        }
     }
 
     /// Returns a copy with a different sequence length (Fig. 17b sweeps).
     pub fn with_seq_len(&self, seq_len: usize) -> Self {
-        Self { seq_len, name: self.name.clone(), ..*self }
+        Self {
+            seq_len,
+            name: self.name.clone(),
+            ..*self
+        }
     }
 }
 
@@ -108,7 +127,12 @@ impl fmt::Display for ModelConfig {
         write!(
             f,
             "{}: hidden={}, layers={}, length={}, input={}, classes={}",
-            self.name, self.hidden_size, self.num_layers, self.seq_len, self.input_dim, self.num_classes
+            self.name,
+            self.hidden_size,
+            self.num_layers,
+            self.seq_len,
+            self.input_dim,
+            self.num_classes
         )
     }
 }

@@ -54,7 +54,10 @@ impl GruWeights {
             regular_std: 0.3,
             ..GateBiasInit::default()
         };
-        let update = GateBiasInit { saturated_frac: 0.35, ..GateBiasInit::default() };
+        let update = GateBiasInit {
+            saturated_frac: 0.35,
+            ..GateBiasInit::default()
+        };
         Self {
             w_r: xavier(rng),
             w_z: xavier(rng),

@@ -8,8 +8,8 @@
 //! recurrent matrix is `3·hidden x hidden` (three gates instead of four).
 
 use crate::gru::{GruLayer, GruWeights};
-use crate::regions::{NetworkRegions, RegionAllocator};
-use crate::schedule::{ew_kernel, head_kernel, u_sgemv_kernel, wx_sgemm_kernel, LayerRun, NetworkRun, F32};
+use crate::plan::{ExecutionPlan, PlanRuntime, TraceCollector};
+use crate::schedule::NetworkRun;
 use gpu_sim::KernelDesc;
 use rand::Rng;
 use tensor::gemm::sgemv_bias;
@@ -74,6 +74,11 @@ impl GruNetwork {
         self.input_dim
     }
 
+    /// Number of task-head classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
     /// Applies the task head.
     pub fn apply_head(&self, h: &Vector) -> Vector {
         sgemv_bias(&self.head_w, h, &self.head_b)
@@ -98,6 +103,11 @@ impl GruNetwork {
 }
 
 /// The baseline GRU executor: cuDNN-style schedule with kernel traces.
+///
+/// A facade over the plan pipeline: `run` compiles a
+/// [`ExecutionPlan::compile_gru_baseline`] plan for the input's length and
+/// executes it immediately. Callers that run many sequences should
+/// compile once and reuse a [`PlanRuntime`](crate::plan::PlanRuntime).
 #[derive(Debug, Clone, Copy)]
 pub struct GruBaselineExecutor<'a> {
     net: &'a GruNetwork,
@@ -115,59 +125,19 @@ impl<'a> GruBaselineExecutor<'a> {
     /// Panics if `xs` is empty.
     pub fn run(&self, xs: &[Vector]) -> NetworkRun {
         assert!(!xs.is_empty(), "GruBaselineExecutor::run: empty input");
-        let num_layers = self.net.layers.len();
-        let hidden = self.net.hidden;
-        let mut alloc = RegionAllocator::new();
-        let regions = NetworkRegions::allocate(&mut alloc, num_layers);
-        let mut layers = Vec::with_capacity(num_layers);
-        let mut current = xs.to_vec();
-        for (l, layer) in self.net.layers.iter().enumerate() {
-            let mut trace: Vec<KernelDesc> = Vec::new();
-            let input_dim = layer.weights().input_dim();
-            // Per-layer W-side GEMM (three gates: scale the four-gate
-            // helper's numbers by 3/4 via a dedicated kernel).
-            let mut wx = wx_sgemm_kernel(l, regions.layers[l].w, hidden, input_dim, current.len(), &mut alloc);
-            wx.label = format!("Sgemm(W_rzh,x) layer{l}");
-            wx.flops = wx.flops * 3 / 4;
-            wx.smem_bytes = wx.smem_bytes * 3 / 4;
-            scale_weight_reads(&mut wx, 3, 4);
-            trace.push(wx);
-
-            let mut h = Vector::zeros(hidden);
-            let mut hs = Vec::with_capacity(current.len());
-            for (t, x) in current.iter().enumerate() {
-                let mut k = u_sgemv_kernel(
-                    format!("Sgemv(U_rzh,h) l{l} t{t}"),
-                    regions.layers[l].u_full,
-                    3 * hidden,
-                    hidden,
-                    &mut alloc,
-                );
-                // The GRU's candidate term multiplies U_h by (r ⊙ h), which
-                // serializes one extra element-wise pass; fold it in here.
-                k.flops += 2 * hidden as u64;
-                trace.push(k);
-                h = layer.weights().step(x, &h);
-                hs.push(h.clone());
-                trace.push(ew_kernel(format!("gru_ew l{l} t{t}"), hidden, 1, &mut alloc));
-            }
-            current = hs.clone();
-            layers.push(LayerRun { hs, trace });
-        }
-        let logits = self.net.apply_head(current.last().expect("non-empty"));
-        let tail_trace =
-            vec![head_kernel(regions.head, self.net.num_classes, hidden, &mut alloc)];
-        NetworkRun { layers, logits, tail_trace, regions }
+        let plan = ExecutionPlan::compile_gru_baseline(self.net, xs.len());
+        let mut collector = TraceCollector::default();
+        let output = PlanRuntime::new().run_gru(&plan, self.net, xs, &mut collector);
+        collector.into_network_run(plan.regions, output)
     }
 }
 
 /// Scales the first (weight) read of a kernel by `num/den` — used to turn
 /// four-gate traffic into three-gate traffic.
-fn scale_weight_reads(kernel: &mut KernelDesc, num: u64, den: u64) {
+pub(crate) fn scale_weight_reads(kernel: &mut KernelDesc, num: u64, den: u64) {
     if let Some(access) = kernel.reads.first_mut() {
         access.bytes = access.bytes * num / den;
     }
-    let _ = F32; // keep the byte-size constant in scope for readers
 }
 
 #[cfg(test)]

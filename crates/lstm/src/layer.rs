@@ -15,7 +15,10 @@ pub struct LayerState {
 impl LayerState {
     /// The zero state of width `hidden` (the layer's cold start).
     pub fn zeros(hidden: usize) -> Self {
-        Self { h: Vector::zeros(hidden), c: Vector::zeros(hidden) }
+        Self {
+            h: Vector::zeros(hidden),
+            c: Vector::zeros(hidden),
+        }
     }
 }
 
@@ -93,7 +96,9 @@ mod tests {
 
     fn inputs(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
         let mut rng = seeded_rng(seed);
-        (0..n).map(|_| Vector::from_fn(dim, |_| rng.gen_range(-1.0f32..1.0))).collect()
+        (0..n)
+            .map(|_| Vector::from_fn(dim, |_| rng.gen_range(-1.0f32..1.0)))
+            .collect()
     }
 
     #[test]
@@ -137,7 +142,10 @@ mod tests {
         let l = layer(7);
         let xs = inputs(2, 4, 8);
         let (a, _) = l.forward(&xs, &LayerState::zeros(6));
-        let warm = LayerState { h: Vector::filled(6, 0.9), c: Vector::filled(6, 1.5) };
+        let warm = LayerState {
+            h: Vector::filled(6, 0.9),
+            c: Vector::filled(6, 1.5),
+        };
         let (b, _) = l.forward(&xs, &warm);
         assert!(a[0].sub(&b[0]).max_abs() > 1e-4);
     }

@@ -29,19 +29,23 @@
 
 pub mod cell;
 pub mod config;
+pub mod drs;
 pub mod gru;
 pub mod gru_exec;
 pub mod layer;
 pub mod network;
+pub mod plan;
 pub mod regions;
 pub mod schedule;
 
 pub use cell::{CellWeights, GatePreacts, GateVectors};
 pub use config::ModelConfig;
+pub use drs::{DrsConfig, DrsMode};
 pub use gru::{GruLayer, GruWeights};
 pub use gru_exec::{GruBaselineExecutor, GruNetwork};
 pub use layer::{LayerState, LstmLayer};
 pub use network::{LstmNetwork, NetworkOutput};
+pub use plan::{ExecutionPlan, KernelSink, PlanOutput, PlanRuntime, TraceCollector};
 pub use regions::{LayerRegions, RegionAllocator};
 pub use schedule::{BaselineExecutor, LayerRun, NetworkRun};
 

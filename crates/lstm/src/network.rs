@@ -38,7 +38,9 @@ impl NetworkOutput {
     /// # Panics
     /// Panics if the logits are empty (the head always has `>= 1` class).
     pub fn predicted_class(&self) -> usize {
-        self.logits.argmax().expect("head produces at least one logit")
+        self.logits
+            .argmax()
+            .expect("head produces at least one logit")
     }
 }
 
@@ -55,12 +57,29 @@ impl LstmNetwork {
     ) -> Self {
         assert_eq!(layers.len(), config.num_layers, "layer count mismatch");
         for (l, layer) in layers.iter().enumerate() {
-            assert_eq!(layer.hidden(), config.hidden_size, "hidden mismatch at layer {l}");
-            assert_eq!(layer.input_dim(), config.layer_input_dim(l), "input mismatch at layer {l}");
+            assert_eq!(
+                layer.hidden(),
+                config.hidden_size,
+                "hidden mismatch at layer {l}"
+            );
+            assert_eq!(
+                layer.input_dim(),
+                config.layer_input_dim(l),
+                "input mismatch at layer {l}"
+            );
         }
-        assert_eq!(head_w.shape(), (config.num_classes, config.hidden_size), "head shape");
+        assert_eq!(
+            head_w.shape(),
+            (config.num_classes, config.hidden_size),
+            "head shape"
+        );
         assert_eq!(head_b.len(), config.num_classes, "head bias length");
-        Self { config, layers, head_w, head_b }
+        Self {
+            config,
+            layers,
+            head_w,
+            head_b,
+        }
     }
 
     /// Samples a network with trained-like weights (see
@@ -158,7 +177,10 @@ impl LstmNetwork {
         }
         let h_final = current.last().expect("non-empty sequence").clone();
         let logits = self.apply_head(&h_final);
-        NetworkOutput { layer_outputs, logits }
+        NetworkOutput {
+            layer_outputs,
+            logits,
+        }
     }
 
     /// Applies the task head to every timestep's hidden state of the last
@@ -172,7 +194,9 @@ impl LstmNetwork {
         last_layer_hs
             .iter()
             .map(|h| {
-                self.apply_head(h).argmax().expect("head produces at least one logit")
+                self.apply_head(h)
+                    .argmax()
+                    .expect("head produces at least one logit")
             })
             .collect()
     }

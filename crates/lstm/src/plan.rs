@@ -1,0 +1,1075 @@
+//! The execution-plan IR and the streaming runtime shared by every
+//! executor.
+//!
+//! Planning and execution are separate concerns in this codebase:
+//!
+//! * An [`ExecutionPlan`] is *pure data*, compiled once per (network,
+//!   thresholds, maximum tissue size) against a probe sequence. It owns
+//!   every offline product of the paper's pipeline — breakpoints,
+//!   sub-layer division, aligned tissues with their context sources,
+//!   Eq. 6 predicted links — plus the per-step kernel templates with
+//!   their [`RegionId`]s pre-allocated, so the kernel *stream* (labels,
+//!   order, region identity) is fixed at compile time.
+//! * A [`PlanRuntime`] executes a plan over streaming inputs, performing
+//!   the real `f32` arithmetic and feeding each kernel to a
+//!   [`KernelSink`] the moment it is "launched" — a collector for trace
+//!   inspection, or a [`gpu_sim::TraceSession`] for incremental pricing
+//!   without materializing the whole trace.
+//!
+//! Only the row-masked `Sgemv/Sgemm(U, ·, R)` kernel of Dynamic Row Skip
+//! cannot be fully priced at compile time: its cost depends on the gate
+//! values of the actual input. The plan stores it as a [`MaskedUKernel`]
+//! template whose regions are still fixed; the runtime fills in the
+//! mask-dependent numbers per step. Everything else is cloned verbatim
+//! from the plan, so two runs of the same plan emit identical streams
+//! except for those numeric fields.
+//!
+//! The baseline flows compile here ([`ExecutionPlan::compile_baseline`],
+//! [`ExecutionPlan::compile_gru_baseline`]); the optimized flows compile
+//! in the `memlstm` crate, which owns the offline analyses.
+
+use crate::cell::{CellWeights, GatePreacts};
+use crate::drs::{skip_cost, skip_fraction, trivial_row_mask, union_active, DrsMode};
+use crate::gru::GruWeights;
+use crate::gru_exec::GruNetwork;
+use crate::network::LstmNetwork;
+use crate::regions::{NetworkRegions, RegionAllocator};
+use crate::schedule::{
+    ew_kernel, head_kernel, u_sgemv_kernel, wx_sgemm_kernel, LayerRun, NetworkRun, F32,
+};
+use gpu_sim::{KernelDesc, KernelKind, RegionId, TraceSession};
+use tensor::Vector;
+
+/// Receives kernels as the runtime "launches" them.
+///
+/// Implementations decide what a launch means: collect it, price it on a
+/// simulated device, or discard it. The runtime calls [`begin_layer`]
+/// before the first kernel of each layer and [`begin_tail`] before the
+/// head, letting sinks that care about trace structure segment the
+/// stream.
+///
+/// [`begin_layer`]: KernelSink::begin_layer
+/// [`begin_tail`]: KernelSink::begin_tail
+pub trait KernelSink {
+    /// Called before the first kernel of layer `layer`.
+    fn begin_layer(&mut self, layer: usize) {
+        let _ = layer;
+    }
+
+    /// Called before the post-layer (head) kernels.
+    fn begin_tail(&mut self) {}
+
+    /// Receives one launched kernel.
+    fn emit(&mut self, kernel: KernelDesc);
+}
+
+/// Discards every kernel. Used when only the numerics matter — e.g. while
+/// a plan compiler advances its probe sequence through already-planned
+/// layers, or in accuracy-only evaluation runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl KernelSink for NullSink {
+    fn emit(&mut self, _kernel: KernelDesc) {}
+}
+
+/// Collects the flat kernel stream in launch order.
+impl KernelSink for Vec<KernelDesc> {
+    fn emit(&mut self, kernel: KernelDesc) {
+        self.push(kernel);
+    }
+}
+
+/// Prices each kernel incrementally on the session's device as it is
+/// launched — the streaming path: no trace is ever materialized.
+impl KernelSink for TraceSession<'_> {
+    fn emit(&mut self, kernel: KernelDesc) {
+        self.price_kernel(&kernel);
+    }
+}
+
+/// Collects kernels segmented into the per-layer + tail layout of
+/// [`NetworkRun`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    layers: Vec<Vec<KernelDesc>>,
+    tail: Vec<KernelDesc>,
+    in_tail: bool,
+}
+
+impl KernelSink for TraceCollector {
+    fn begin_layer(&mut self, _layer: usize) {
+        self.layers.push(Vec::new());
+    }
+
+    fn begin_tail(&mut self) {
+        self.in_tail = true;
+    }
+
+    fn emit(&mut self, kernel: KernelDesc) {
+        if self.in_tail {
+            self.tail.push(kernel);
+        } else {
+            self.layers
+                .last_mut()
+                .expect("begin_layer before emit")
+                .push(kernel);
+        }
+    }
+}
+
+impl TraceCollector {
+    /// Assembles the collected segments and a run's numeric output into
+    /// the [`NetworkRun`] shape the reporting layers consume.
+    ///
+    /// # Panics
+    /// Panics if the number of collected layer segments differs from the
+    /// number of layers in `output`.
+    pub fn into_network_run(self, regions: NetworkRegions, output: PlanOutput) -> NetworkRun {
+        assert_eq!(
+            self.layers.len(),
+            output.layer_hs.len(),
+            "trace/output layer mismatch"
+        );
+        let layers = self
+            .layers
+            .into_iter()
+            .zip(output.layer_hs)
+            .map(|(trace, hs)| LayerRun { hs, trace })
+            .collect();
+        NetworkRun {
+            layers,
+            logits: output.logits,
+            tail_trace: self.tail,
+            regions,
+        }
+    }
+}
+
+/// Where a planned cell reads its `(h, c)` context from — resolved at
+/// compile time from the schedule (paper Fig. 10 steps 5–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrevSource {
+    /// The genuine zero initial state (cell 0 of the layer).
+    Zeros,
+    /// A broken context link: inject the plan's predicted vectors
+    /// (Eq. 6; zeros when link prediction is ablated).
+    Predicted,
+    /// The previous timestep's output, already produced by an earlier
+    /// tissue or an earlier step — the schedule guarantees the order.
+    Prior,
+}
+
+/// Template of a row-masked recurrent kernel (Algorithm 3 line 7):
+/// `Sgemv(U_{f,i,c}, h, R)` per cell, `Sgemm(U_{f,i,c}, H, R)` per
+/// tissue, or the GRU's `Sgemv(U_{r,h}, h, R)`.
+///
+/// The regions (and therefore the stream identity) are fixed when the
+/// plan is compiled; only the mask-dependent numeric fields — FLOPs,
+/// bytes, divergence, derate, skip counts — are filled in per step by
+/// [`instantiate`](Self::instantiate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskedUKernel {
+    label: String,
+    /// Gate matrices batched into the masked GEMM: 3 for the LSTM's
+    /// `U_{f,i,c}`, 2 for the GRU's `U_{r,h}`.
+    gates: u64,
+    hidden: u64,
+    /// Cells batched into the kernel (1 per-cell, tissue size batched).
+    batch: u64,
+    u_region: RegionId,
+    h_region: RegionId,
+    out_region: RegionId,
+    mode: DrsMode,
+    /// Whether the on-chip traffic includes the activation operand (the
+    /// LSTM tissue formulation does; the GRU per-cell one does not).
+    smem_includes_act: bool,
+}
+
+impl MaskedUKernel {
+    /// Builds a template, allocating its transient input/output regions
+    /// in the same order an eager builder would (`read h`, `write out`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        label: impl Into<String>,
+        gates: usize,
+        hidden: usize,
+        batch: usize,
+        u_region: RegionId,
+        mode: DrsMode,
+        smem_includes_act: bool,
+        alloc: &mut RegionAllocator,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            gates: gates as u64,
+            hidden: hidden as u64,
+            batch: batch as u64,
+            u_region,
+            h_region: alloc.fresh(),
+            out_region: alloc.fresh(),
+            mode,
+            smem_includes_act,
+        }
+    }
+
+    /// The kernel's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Prices the template for the given per-cell *active* masks (one
+    /// mask per batched cell). DRAM traffic covers the union of rows any
+    /// cell keeps (the rows must be loaded if anyone needs them); compute
+    /// covers each cell's own active rows.
+    ///
+    /// # Panics
+    /// Debug-asserts that `masks` matches the planned batch size.
+    pub fn instantiate(&self, masks: &[Vec<bool>]) -> KernelDesc {
+        debug_assert_eq!(
+            masks.len() as u64,
+            self.batch,
+            "mask count != planned batch"
+        );
+        let (g, h, t) = (self.gates, self.hidden, self.batch);
+        let union = union_active(masks);
+        let union_rows = union.iter().filter(|&&a| a).count() as u64;
+        let active_total: u64 = masks
+            .iter()
+            .map(|m| m.iter().filter(|&&a| a).count() as u64)
+            .sum();
+        let skipped_total = t * h - active_total;
+        let mean_skip = if t * h > 0 {
+            skipped_total as f64 / (t * h) as f64
+        } else {
+            0.0
+        };
+        let cost = skip_cost(self.mode, mean_skip);
+        let union_bytes = g * union_rows * h * F32;
+        let act_bytes = t * h * F32;
+        let kind = if t > 1 {
+            KernelKind::Sgemm
+        } else {
+            KernelKind::Sgemv
+        };
+        let smem = g * active_total * h * F32 + if self.smem_includes_act { act_bytes } else { 0 };
+        KernelDesc::builder(self.label.clone(), kind)
+            .flops(2 * g * active_total * h)
+            .read(self.u_region, union_bytes)
+            .read(self.h_region, act_bytes)
+            .write(self.out_region, t * g * h * F32)
+            .smem(smem)
+            .threads(g * h * t, 256)
+            .divergence(cost.divergence)
+            .dram_derate(cost.dram_derate)
+            .skips(g * skipped_total, cost.uses_crm)
+            .build()
+    }
+}
+
+/// One planned cell of a sequential baseline flow (Algorithm 1 lines
+/// 3–6): the recurrent `Sgemv(U, h)` plus the element-wise update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqCellPlan {
+    /// The recurrent `Sgemv(U, h_{t-1})`.
+    pub sgemv: KernelDesc,
+    /// The element-wise cell update (`lstm_ew` / `gru_ew`).
+    pub ew: KernelDesc,
+}
+
+/// One planned cell of the per-cell Dynamic-Row-Skip flow (Algorithm 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrsCellPlan {
+    /// `Sgemv(U_o, h_{t-1})` — the hoisted output-gate GEMV.
+    pub uo: KernelDesc,
+    /// Element-wise sigmoid producing `o_t`.
+    pub gate_ew: KernelDesc,
+    /// The `DRS(o_t, α_intra, R)` trivial-row selection kernel.
+    pub select: KernelDesc,
+    /// The row-masked `Sgemv(U_{f,i,c}, h_{t-1}, R)` template.
+    pub masked: MaskedUKernel,
+    /// The element-wise cell update.
+    pub ew: KernelDesc,
+}
+
+/// One planned cell of the GRU Dynamic-Row-Skip flow: the update gate is
+/// computed first, then rows of `U_{r,h}` whose `z_t` element is trivial
+/// are skipped (the cell keeps its history there).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruDrsCellPlan {
+    /// `Sgemv(U_z, h_{t-1})` — the hoisted update-gate GEMV.
+    pub uz: KernelDesc,
+    /// The `DRS(z_t, α_intra, R)` selection kernel.
+    pub select: KernelDesc,
+    /// The row-masked `Sgemv(U_{r,h}, h_{t-1}, R)` template.
+    pub masked: MaskedUKernel,
+    /// The element-wise cell update.
+    pub ew: KernelDesc,
+}
+
+/// The kernels of one scheduled tissue (paper Fig. 10 step 9).
+// Variant sizes differ by a few KernelDescs; boxing the large variant
+// would add a pointer chase on the per-tissue hot path for no real
+// memory win (plans hold few of these).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum TissueKernels {
+    /// Batched execution without intra-cell skipping.
+    Plain {
+        /// The batched `Sgemm(U, H_t)` over the tissue's cells.
+        sgemm: KernelDesc,
+        /// The batched element-wise update.
+        ew: KernelDesc,
+    },
+    /// Batched execution with Dynamic Row Skip inside the tissue.
+    Drs {
+        /// The batched `Sgemm(U_o, H_t)`.
+        uo: KernelDesc,
+        /// Element-wise sigmoid producing the tissue's `o_t` columns.
+        gate_ew: KernelDesc,
+        /// The `DRS` selection kernel.
+        select: KernelDesc,
+        /// The row-masked `Sgemm(U_{f,i,c}, H_t, R)` template.
+        masked: MaskedUKernel,
+        /// The batched element-wise update.
+        ew: KernelDesc,
+    },
+}
+
+/// One scheduled tissue: which cells it batches, where each reads its
+/// context, and the kernels that execute it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TissuePlan {
+    /// Timestep indices of the member cells, in batch order.
+    pub cells: Vec<usize>,
+    /// Context source per member cell (parallel to `cells`).
+    pub prev: Vec<PrevSource>,
+    /// The tissue's kernels.
+    pub kernels: TissueKernels,
+}
+
+/// Structural statistics of one planned LSTM layer — the compile-time
+/// half of the run statistics (the runtime half is skip accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanLayerStats {
+    /// Context links broken by the breakpoint search.
+    pub breakpoints: usize,
+    /// Sub-layers after division.
+    pub sublayers: usize,
+    /// Scheduled tissues (sequential kernel rounds).
+    pub tissues: usize,
+    /// Mean cells per tissue (the parallelism win).
+    pub mean_tissue_size: f64,
+}
+
+/// The planned body of one LSTM layer — which execution flow it compiles
+/// to and the pre-built kernels for it.
+#[allow(clippy::large_enum_variant)] // one LayerBody per layer; boxing buys nothing
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerBody {
+    /// Algorithm 1: strictly sequential per-cell execution.
+    Baseline {
+        /// One entry per timestep.
+        cells: Vec<SeqCellPlan>,
+    },
+    /// Algorithm 3 on the sequential schedule: per-cell Dynamic Row
+    /// Skip.
+    Drs {
+        /// The `α_intra` threshold the runtime masks with.
+        alpha_intra: f32,
+        /// One entry per timestep.
+        cells: Vec<DrsCellPlan>,
+    },
+    /// The reorganized layer (paper Fig. 10): offline breakpoints and
+    /// tissues, optionally with in-tissue Dynamic Row Skip.
+    Tissues {
+        /// The offline relevance-analysis + breakpoint-search kernel.
+        search: KernelDesc,
+        /// The Eq. 6 link-prediction kernel (absent when no links broke).
+        link: Option<KernelDesc>,
+        /// The `α_intra` threshold; only read when `tissues` carry
+        /// [`TissueKernels::Drs`].
+        alpha_intra: f32,
+        /// Predicted hidden state injected at broken links.
+        predicted_h: Vector,
+        /// Predicted cell state injected at broken links.
+        predicted_c: Vector,
+        /// The scheduled tissues, in execution order.
+        tissues: Vec<TissuePlan>,
+    },
+}
+
+/// One planned LSTM layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    /// The per-layer `Sgemm(W, x)` (Algorithm 1 line 2 — shared by every
+    /// flow).
+    pub wx: KernelDesc,
+    /// The flow-specific body.
+    pub body: LayerBody,
+    /// Structural statistics of the planned body.
+    pub stats: PlanLayerStats,
+}
+
+/// The planned body of one GRU layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GruLayerBody {
+    /// The cuDNN-style sequential schedule.
+    Baseline {
+        /// One entry per timestep.
+        cells: Vec<SeqCellPlan>,
+    },
+    /// Per-cell Dynamic Row Skip driven by the update gate.
+    Drs {
+        /// The `α_intra` threshold the runtime masks with.
+        alpha_intra: f32,
+        /// One entry per timestep.
+        cells: Vec<GruDrsCellPlan>,
+    },
+}
+
+/// One planned GRU layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GruLayerPlan {
+    /// The per-layer `Sgemm(W_{r,z,h}, x)`.
+    pub wx: KernelDesc,
+    /// The flow-specific body.
+    pub body: GruLayerBody,
+}
+
+/// The layer stack of a plan — LSTM and GRU plans share the envelope
+/// (regions, head, runtime) and differ only here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanBody {
+    /// An LSTM network's layers.
+    Lstm(Vec<LayerPlan>),
+    /// A GRU network's layers.
+    Gru(Vec<GruLayerPlan>),
+}
+
+/// A compiled execution plan: every offline decision and kernel template
+/// needed to execute a network, as pure data.
+///
+/// Compile once per (network, thresholds, maximum tissue size); execute
+/// many times with a [`PlanRuntime`]. The plan is independent of any
+/// particular input sequence except its length — the optimized compilers
+/// in `memlstm` analyze a *probe* sequence to fix the schedule, exactly
+/// the paper's offline phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// Persistent weight regions the plan's kernels read.
+    pub regions: NetworkRegions,
+    /// Sequence length the plan was compiled for.
+    pub seq_len: usize,
+    /// The per-layer plans.
+    pub body: PlanBody,
+    /// The classifier-head kernel.
+    pub head: KernelDesc,
+}
+
+impl ExecutionPlan {
+    /// Compiles the Algorithm 1 baseline flow for an LSTM network.
+    ///
+    /// # Panics
+    /// Panics if `seq_len` is zero.
+    pub fn compile_baseline(net: &LstmNetwork, seq_len: usize) -> Self {
+        assert!(
+            seq_len > 0,
+            "ExecutionPlan::compile_baseline: zero-length sequence"
+        );
+        let cfg = net.config();
+        let mut alloc = RegionAllocator::new();
+        let regions = NetworkRegions::allocate(&mut alloc, cfg.num_layers);
+        let mut layers = Vec::with_capacity(cfg.num_layers);
+        for (l, layer) in net.layers().iter().enumerate() {
+            let wx = wx_sgemm_kernel(
+                l,
+                regions.layers[l].w,
+                layer.hidden(),
+                layer.input_dim(),
+                seq_len,
+                &mut alloc,
+            );
+            let cells = (0..seq_len)
+                .map(|t| SeqCellPlan {
+                    sgemv: u_sgemv_kernel(
+                        format!("Sgemv(U_fico,h) l{l} t{t}"),
+                        regions.layers[l].u_full,
+                        4 * layer.hidden(),
+                        layer.hidden(),
+                        &mut alloc,
+                    ),
+                    ew: ew_kernel(format!("lstm_ew l{l} t{t}"), layer.hidden(), 1, &mut alloc),
+                })
+                .collect();
+            layers.push(LayerPlan {
+                wx,
+                body: LayerBody::Baseline { cells },
+                stats: PlanLayerStats {
+                    breakpoints: 0,
+                    sublayers: 1,
+                    tissues: seq_len,
+                    mean_tissue_size: 1.0,
+                },
+            });
+        }
+        let head = head_kernel(regions.head, cfg.num_classes, cfg.hidden_size, &mut alloc);
+        Self {
+            regions,
+            seq_len,
+            body: PlanBody::Lstm(layers),
+            head,
+        }
+    }
+
+    /// Compiles the cuDNN-style baseline flow for a GRU network.
+    ///
+    /// # Panics
+    /// Panics if `seq_len` is zero.
+    pub fn compile_gru_baseline(net: &GruNetwork, seq_len: usize) -> Self {
+        assert!(
+            seq_len > 0,
+            "ExecutionPlan::compile_gru_baseline: zero-length sequence"
+        );
+        let hidden = net.hidden();
+        let num_layers = net.layers().len();
+        let mut alloc = RegionAllocator::new();
+        let regions = NetworkRegions::allocate(&mut alloc, num_layers);
+        let mut layers = Vec::with_capacity(num_layers);
+        for (l, layer) in net.layers().iter().enumerate() {
+            // Three gates instead of four: scale the four-gate helper's
+            // traffic by 3/4.
+            let mut wx = wx_sgemm_kernel(
+                l,
+                regions.layers[l].w,
+                hidden,
+                layer.weights().input_dim(),
+                seq_len,
+                &mut alloc,
+            );
+            wx.label = format!("Sgemm(W_rzh,x) layer{l}");
+            wx.flops = wx.flops * 3 / 4;
+            wx.smem_bytes = wx.smem_bytes * 3 / 4;
+            crate::gru_exec::scale_weight_reads(&mut wx, 3, 4);
+            let cells = (0..seq_len)
+                .map(|t| {
+                    let mut sgemv = u_sgemv_kernel(
+                        format!("Sgemv(U_rzh,h) l{l} t{t}"),
+                        regions.layers[l].u_full,
+                        3 * hidden,
+                        hidden,
+                        &mut alloc,
+                    );
+                    // The candidate term multiplies U_h by (r ⊙ h): one
+                    // extra element-wise pass folded into the GEMV.
+                    sgemv.flops += 2 * hidden as u64;
+                    SeqCellPlan {
+                        sgemv,
+                        ew: ew_kernel(format!("gru_ew l{l} t{t}"), hidden, 1, &mut alloc),
+                    }
+                })
+                .collect();
+            layers.push(GruLayerPlan {
+                wx,
+                body: GruLayerBody::Baseline { cells },
+            });
+        }
+        let head = head_kernel(regions.head, net.num_classes(), hidden, &mut alloc);
+        Self {
+            regions,
+            seq_len,
+            body: PlanBody::Gru(layers),
+            head,
+        }
+    }
+
+    /// Per-layer structural statistics (empty for GRU plans, which do not
+    /// report layer reorganization).
+    pub fn layer_stats(&self) -> Vec<PlanLayerStats> {
+        match &self.body {
+            PlanBody::Lstm(layers) => layers.iter().map(|l| l.stats).collect(),
+            PlanBody::Gru(_) => Vec::new(),
+        }
+    }
+}
+
+/// Per-layer skip accounting accumulated by a run — the runtime half of
+/// the statistics (the structural half is [`PlanLayerStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SkipStats {
+    /// Sum of per-cell skip fractions.
+    pub sum: f64,
+    /// Number of cells that contributed.
+    pub count: usize,
+}
+
+impl SkipStats {
+    /// Mean skip fraction over the contributing cells (0 when none did).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn push(&mut self, frac: f64) {
+        self.sum += frac;
+        self.count += 1;
+    }
+}
+
+/// Numeric results of one plan execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOutput {
+    /// Hidden outputs per layer, per timestep.
+    pub layer_hs: Vec<Vec<Vector>>,
+    /// Task-head logits.
+    pub logits: Vector,
+    /// Per-layer skip accounting (all zeros for flows without Dynamic
+    /// Row Skip).
+    pub layer_skips: Vec<SkipStats>,
+}
+
+impl PlanOutput {
+    /// Mean skip fraction across every masked cell of the run.
+    pub fn mean_skip_fraction(&self) -> f64 {
+        let sum: f64 = self.layer_skips.iter().map(|s| s.sum).sum();
+        let count: usize = self.layer_skips.iter().map(|s| s.count).sum();
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+/// Executes [`ExecutionPlan`]s over streaming inputs.
+///
+/// The runtime owns the transient per-timestep `(h, c)` slots and reuses
+/// them across executions, so a plan-once / evaluate-many loop performs
+/// no per-run planning work and no repeated buffer growth.
+#[derive(Debug, Default)]
+pub struct PlanRuntime {
+    h_slots: Vec<Option<Vector>>,
+    c_slots: Vec<Option<Vector>>,
+}
+
+impl PlanRuntime {
+    /// Creates a runtime with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes an LSTM plan on `xs`, streaming kernels into `sink`.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty, if its length differs from the plan's
+    /// compiled sequence length, or if the plan was compiled for a GRU
+    /// network or a different layer count.
+    pub fn run_lstm(
+        &mut self,
+        plan: &ExecutionPlan,
+        net: &LstmNetwork,
+        xs: &[Vector],
+        sink: &mut impl KernelSink,
+    ) -> PlanOutput {
+        assert!(!xs.is_empty(), "PlanRuntime::run_lstm: empty input");
+        assert_eq!(
+            xs.len(),
+            plan.seq_len,
+            "plan compiled for sequence length {}, got {}",
+            plan.seq_len,
+            xs.len()
+        );
+        let PlanBody::Lstm(layer_plans) = &plan.body else {
+            panic!("PlanRuntime::run_lstm: plan was compiled for a GRU network");
+        };
+        assert_eq!(
+            layer_plans.len(),
+            net.layers().len(),
+            "plan/network layer count mismatch"
+        );
+
+        let mut layer_hs = Vec::with_capacity(layer_plans.len());
+        let mut layer_skips = Vec::with_capacity(layer_plans.len());
+        let mut current: Vec<Vector> = xs.to_vec();
+        for (l, (lp, layer)) in layer_plans.iter().zip(net.layers()).enumerate() {
+            sink.begin_layer(l);
+            sink.emit(lp.wx.clone());
+            let wx = layer.precompute_wx(&current);
+            let mut skips = SkipStats::default();
+            let hs = self.execute_lstm_body(&lp.body, layer.weights(), &wx, sink, &mut skips);
+            current = hs.clone();
+            layer_hs.push(hs);
+            layer_skips.push(skips);
+        }
+        sink.begin_tail();
+        sink.emit(plan.head.clone());
+        let logits = net.apply_head(current.last().expect("non-empty sequence"));
+        PlanOutput {
+            layer_hs,
+            logits,
+            layer_skips,
+        }
+    }
+
+    /// Executes one planned LSTM layer body *numerically only* — no
+    /// kernels, no skip accounting. Plan compilers use this to advance
+    /// their probe sequence through already-planned layers with the same
+    /// arithmetic the runtime will use.
+    pub fn layer_numerics(
+        &mut self,
+        body: &LayerBody,
+        weights: &CellWeights,
+        wx: &[GatePreacts],
+    ) -> Vec<Vector> {
+        let mut skips = SkipStats::default();
+        self.execute_lstm_body(body, weights, wx, &mut NullSink, &mut skips)
+    }
+
+    fn execute_lstm_body(
+        &mut self,
+        body: &LayerBody,
+        weights: &CellWeights,
+        wx: &[GatePreacts],
+        sink: &mut impl KernelSink,
+        skips: &mut SkipStats,
+    ) -> Vec<Vector> {
+        let hidden = weights.hidden();
+        match body {
+            LayerBody::Baseline { cells } => {
+                assert_eq!(cells.len(), wx.len(), "plan/input length mismatch");
+                let mut h = Vector::zeros(hidden);
+                let mut c = Vector::zeros(hidden);
+                let mut hs = Vec::with_capacity(wx.len());
+                for (cell, pre) in cells.iter().zip(wx) {
+                    sink.emit(cell.sgemv.clone());
+                    let (h_next, c_next) = weights.step(pre, &h, &c);
+                    h = h_next;
+                    c = c_next;
+                    hs.push(h.clone());
+                    sink.emit(cell.ew.clone());
+                }
+                hs
+            }
+            LayerBody::Drs { alpha_intra, cells } => {
+                assert_eq!(cells.len(), wx.len(), "plan/input length mismatch");
+                let mut h = Vector::zeros(hidden);
+                let mut c = Vector::zeros(hidden);
+                let mut hs = Vec::with_capacity(wx.len());
+                for (cell, pre) in cells.iter().zip(wx) {
+                    sink.emit(cell.uo.clone());
+                    sink.emit(cell.gate_ew.clone());
+                    let o = weights.output_gate(&pre.o, &h);
+                    sink.emit(cell.select.clone());
+                    let active = trivial_row_mask(&o, *alpha_intra);
+                    skips.push(skip_fraction(&active));
+                    sink.emit(cell.masked.instantiate(std::slice::from_ref(&active)));
+                    sink.emit(cell.ew.clone());
+                    let (h_next, c_next) = weights.step_masked(pre, &h, &c, &o, &active);
+                    h = h_next;
+                    c = c_next;
+                    hs.push(h.clone());
+                }
+                hs
+            }
+            LayerBody::Tissues {
+                search,
+                link,
+                alpha_intra,
+                predicted_h,
+                predicted_c,
+                tissues,
+            } => {
+                sink.emit(search.clone());
+                if let Some(k) = link {
+                    sink.emit(k.clone());
+                }
+                let n = wx.len();
+                self.h_slots.clear();
+                self.h_slots.resize(n, None);
+                self.c_slots.clear();
+                self.c_slots.resize(n, None);
+                for tp in tissues {
+                    let prev: Vec<(Vector, Vector)> = tp
+                        .cells
+                        .iter()
+                        .zip(&tp.prev)
+                        .map(|(&t, src)| match src {
+                            PrevSource::Zeros => (Vector::zeros(hidden), Vector::zeros(hidden)),
+                            PrevSource::Predicted => (predicted_h.clone(), predicted_c.clone()),
+                            PrevSource::Prior => (
+                                self.h_slots[t - 1]
+                                    .clone()
+                                    .expect("schedule guarantees the predecessor already ran"),
+                                self.c_slots[t - 1]
+                                    .clone()
+                                    .expect("schedule guarantees the predecessor already ran"),
+                            ),
+                        })
+                        .collect();
+                    match &tp.kernels {
+                        TissueKernels::Plain { sgemm, ew } => {
+                            sink.emit(sgemm.clone());
+                            sink.emit(ew.clone());
+                            for (&t, (h_prev, c_prev)) in tp.cells.iter().zip(&prev) {
+                                let (h, c) = weights.step(&wx[t], h_prev, c_prev);
+                                self.h_slots[t] = Some(h);
+                                self.c_slots[t] = Some(c);
+                            }
+                        }
+                        TissueKernels::Drs {
+                            uo,
+                            gate_ew,
+                            select,
+                            masked,
+                            ew,
+                        } => {
+                            sink.emit(uo.clone());
+                            sink.emit(gate_ew.clone());
+                            sink.emit(select.clone());
+                            let os: Vec<Vector> = tp
+                                .cells
+                                .iter()
+                                .zip(&prev)
+                                .map(|(&t, (h_prev, _))| weights.output_gate(&wx[t].o, h_prev))
+                                .collect();
+                            let masks: Vec<Vec<bool>> = os
+                                .iter()
+                                .map(|o| trivial_row_mask(o, *alpha_intra))
+                                .collect();
+                            for mask in &masks {
+                                skips.push(skip_fraction(mask));
+                            }
+                            sink.emit(masked.instantiate(&masks));
+                            sink.emit(ew.clone());
+                            for (((&t, (h_prev, c_prev)), o), mask) in
+                                tp.cells.iter().zip(&prev).zip(&os).zip(&masks)
+                            {
+                                let (h, c) = weights.step_masked(&wx[t], h_prev, c_prev, o, mask);
+                                self.h_slots[t] = Some(h);
+                                self.c_slots[t] = Some(c);
+                            }
+                        }
+                    }
+                }
+                self.h_slots
+                    .iter_mut()
+                    .map(|h| h.take().expect("every cell scheduled exactly once"))
+                    .collect()
+            }
+        }
+    }
+
+    /// Executes a GRU plan on `xs`, streaming kernels into `sink`.
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty, if its length differs from the plan's
+    /// compiled sequence length, or if the plan was compiled for an LSTM
+    /// network or a different layer count.
+    pub fn run_gru(
+        &mut self,
+        plan: &ExecutionPlan,
+        net: &GruNetwork,
+        xs: &[Vector],
+        sink: &mut impl KernelSink,
+    ) -> PlanOutput {
+        assert!(!xs.is_empty(), "PlanRuntime::run_gru: empty input");
+        assert_eq!(
+            xs.len(),
+            plan.seq_len,
+            "plan compiled for sequence length {}, got {}",
+            plan.seq_len,
+            xs.len()
+        );
+        let PlanBody::Gru(layer_plans) = &plan.body else {
+            panic!("PlanRuntime::run_gru: plan was compiled for an LSTM network");
+        };
+        assert_eq!(
+            layer_plans.len(),
+            net.layers().len(),
+            "plan/network layer count mismatch"
+        );
+
+        let hidden = net.hidden();
+        let mut layer_hs = Vec::with_capacity(layer_plans.len());
+        let mut layer_skips = Vec::with_capacity(layer_plans.len());
+        let mut current: Vec<Vector> = xs.to_vec();
+        for (l, (lp, layer)) in layer_plans.iter().zip(net.layers()).enumerate() {
+            sink.begin_layer(l);
+            sink.emit(lp.wx.clone());
+            let weights = layer.weights();
+            let mut skips = SkipStats::default();
+            let hs = Self::execute_gru_body(&lp.body, weights, hidden, &current, sink, &mut skips);
+            current = hs.clone();
+            layer_hs.push(hs);
+            layer_skips.push(skips);
+        }
+        sink.begin_tail();
+        sink.emit(plan.head.clone());
+        let logits = net.apply_head(current.last().expect("non-empty sequence"));
+        PlanOutput {
+            layer_hs,
+            logits,
+            layer_skips,
+        }
+    }
+
+    fn execute_gru_body(
+        body: &GruLayerBody,
+        weights: &GruWeights,
+        hidden: usize,
+        xs: &[Vector],
+        sink: &mut impl KernelSink,
+        skips: &mut SkipStats,
+    ) -> Vec<Vector> {
+        match body {
+            GruLayerBody::Baseline { cells } => {
+                assert_eq!(cells.len(), xs.len(), "plan/input length mismatch");
+                let mut h = Vector::zeros(hidden);
+                let mut hs = Vec::with_capacity(xs.len());
+                for (cell, x) in cells.iter().zip(xs) {
+                    sink.emit(cell.sgemv.clone());
+                    h = weights.step(x, &h);
+                    hs.push(h.clone());
+                    sink.emit(cell.ew.clone());
+                }
+                hs
+            }
+            GruLayerBody::Drs { alpha_intra, cells } => {
+                assert_eq!(cells.len(), xs.len(), "plan/input length mismatch");
+                let mut h = Vector::zeros(hidden);
+                let mut hs = Vec::with_capacity(xs.len());
+                for (cell, x) in cells.iter().zip(xs) {
+                    sink.emit(cell.uz.clone());
+                    let z = weights.update_gate(x, &h);
+                    sink.emit(cell.select.clone());
+                    let active = trivial_row_mask(&z, *alpha_intra);
+                    skips.push(skip_fraction(&active));
+                    sink.emit(cell.masked.instantiate(std::slice::from_ref(&active)));
+                    sink.emit(cell.ew.clone());
+                    h = weights.step_masked(x, &h, &z, &active);
+                    hs.push(h.clone());
+                }
+                hs
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use gpu_sim::{GpuConfig, GpuDevice};
+    use rand::Rng;
+    use tensor::init::seeded_rng;
+
+    fn setup() -> (LstmNetwork, Vec<Vector>) {
+        let config = ModelConfig::new("test", 12, 24, 2, 8, 3).unwrap();
+        let mut rng = seeded_rng(11);
+        let net = LstmNetwork::random(&config, &mut rng);
+        let xs = crate::random_inputs(&config, &mut rng);
+        (net, xs)
+    }
+
+    #[test]
+    fn baseline_plan_matches_exact_forward() {
+        let (net, xs) = setup();
+        let plan = ExecutionPlan::compile_baseline(&net, xs.len());
+        let out = PlanRuntime::new().run_lstm(&plan, &net, &xs, &mut NullSink);
+        let exact = net.forward(&xs);
+        assert_eq!(out.logits, exact.logits);
+        assert_eq!(out.layer_hs, exact.layer_outputs);
+        assert_eq!(out.mean_skip_fraction(), 0.0);
+    }
+
+    #[test]
+    fn collector_segments_match_flat_stream() {
+        let (net, xs) = setup();
+        let plan = ExecutionPlan::compile_baseline(&net, xs.len());
+        let mut runtime = PlanRuntime::new();
+        let mut flat: Vec<KernelDesc> = Vec::new();
+        runtime.run_lstm(&plan, &net, &xs, &mut flat);
+        let mut collector = TraceCollector::default();
+        let out = runtime.run_lstm(&plan, &net, &xs, &mut collector);
+        let run = collector.into_network_run(plan.regions.clone(), out);
+        let segmented: Vec<KernelDesc> = run.trace().cloned().collect();
+        assert_eq!(flat, segmented);
+        // Per layer: 1 Sgemm + seq_len x (Sgemv + lstm_ew).
+        for lr in &run.layers {
+            assert_eq!(lr.trace.len(), 1 + 2 * xs.len());
+        }
+    }
+
+    #[test]
+    fn pricing_sink_matches_batch_pricing() {
+        let (net, xs) = setup();
+        let plan = ExecutionPlan::compile_baseline(&net, xs.len());
+        let mut runtime = PlanRuntime::new();
+        let mut trace: Vec<KernelDesc> = Vec::new();
+        runtime.run_lstm(&plan, &net, &xs, &mut trace);
+
+        let mut batch_dev = GpuDevice::new(GpuConfig::tegra_x1());
+        let batch = batch_dev.run_trace(trace.iter());
+
+        let mut stream_dev = GpuDevice::new(GpuConfig::tegra_x1());
+        let mut session = stream_dev.begin_trace();
+        runtime.run_lstm(&plan, &net, &xs, &mut session);
+        let streamed = session.finish();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn gru_baseline_plan_matches_exact_forward() {
+        let mut rng = seeded_rng(5);
+        let net = GruNetwork::random(10, 14, 2, 4, &mut rng);
+        let xs: Vec<Vector> = (0..7)
+            .map(|_| Vector::from_fn(10, |_| rng.gen_range(-1.0f32..1.0)))
+            .collect();
+        let plan = ExecutionPlan::compile_gru_baseline(&net, xs.len());
+        let out = PlanRuntime::new().run_gru(&plan, &net, &xs, &mut NullSink);
+        let (outputs, logits) = net.forward(&xs);
+        assert_eq!(out.logits, logits);
+        assert_eq!(out.layer_hs, outputs);
+    }
+
+    #[test]
+    fn masked_template_full_mask_prices_all_rows() {
+        let mut alloc = RegionAllocator::new();
+        let u = alloc.fresh();
+        let k = MaskedUKernel::new("m", 3, 8, 1, u, DrsMode::Hardware, true, &mut alloc);
+        let full = k.instantiate(&[vec![true; 8]]);
+        assert_eq!(full.flops, 2 * 3 * 8 * 8);
+        assert_eq!(full.reads[0].bytes, 3 * 8 * 8 * F32);
+        assert_eq!(full.divergence, 1.0);
+        assert!(!full.uses_crm);
+
+        let half: Vec<bool> = (0..8).map(|i| i < 4).collect();
+        let masked = k.instantiate(&[half]);
+        assert_eq!(masked.flops, full.flops / 2);
+        assert!(masked.reads[0].bytes < full.reads[0].bytes);
+        assert!(masked.uses_crm);
+        // The stream identity (label, regions) is unchanged by the mask.
+        assert_eq!(masked.label, full.label);
+        assert_eq!(masked.reads[0].region, full.reads[0].region);
+        assert_eq!(masked.writes[0].region, full.writes[0].region);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length")]
+    fn wrong_length_input_rejected() {
+        let (net, xs) = setup();
+        let plan = ExecutionPlan::compile_baseline(&net, xs.len() + 1);
+        PlanRuntime::new().run_lstm(&plan, &net, &xs, &mut NullSink);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_input_rejected() {
+        let (net, _) = setup();
+        let plan = ExecutionPlan::compile_baseline(&net, 4);
+        PlanRuntime::new().run_lstm(&plan, &net, &[], &mut NullSink);
+    }
+}

@@ -71,7 +71,9 @@ impl NetworkRegions {
     /// Allocates regions for `num_layers` layers plus the head.
     pub fn allocate(alloc: &mut RegionAllocator, num_layers: usize) -> Self {
         Self {
-            layers: (0..num_layers).map(|_| LayerRegions::allocate(alloc)).collect(),
+            layers: (0..num_layers)
+                .map(|_| LayerRegions::allocate(alloc))
+                .collect(),
             head: alloc.fresh(),
         }
     }

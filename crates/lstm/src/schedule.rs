@@ -6,8 +6,8 @@
 //! would have executed. The helpers in this module centralize the traffic
 //! accounting so all executors price kernels consistently.
 
-use crate::cell::GatePreacts;
 use crate::network::LstmNetwork;
+use crate::plan::{ExecutionPlan, PlanRuntime, TraceCollector};
 use crate::regions::{NetworkRegions, RegionAllocator};
 use gpu_sim::{GpuDevice, KernelDesc, KernelKind, RegionId};
 use tensor::Vector;
@@ -120,7 +120,12 @@ pub fn tissue_sgemm_kernel(
 /// Builds the element-wise cell-update kernel (`lstm_ew`) for `batch`
 /// cells at once (1 in the baseline, the tissue size after
 /// reorganization).
-pub fn ew_kernel(label: impl Into<String>, hidden: usize, batch: usize, alloc: &mut RegionAllocator) -> KernelDesc {
+pub fn ew_kernel(
+    label: impl Into<String>,
+    hidden: usize,
+    batch: usize,
+    alloc: &mut RegionAllocator,
+) -> KernelDesc {
     let (h, b) = (hidden as u64, batch as u64);
     // Reads: Wx preacts (4h) + Uh preacts (4h) + biases (4h) + c_prev (h).
     let read_bytes = b * (4 * h + 4 * h + h) * F32 + 4 * h * F32;
@@ -136,7 +141,11 @@ pub fn ew_kernel(label: impl Into<String>, hidden: usize, batch: usize, alloc: &
 
 /// Builds the `DRS(o_t, α_intra, R)` trivial-row selection kernel
 /// (Algorithm 3 line 6).
-pub fn drs_kernel(label: impl Into<String>, hidden: usize, alloc: &mut RegionAllocator) -> KernelDesc {
+pub fn drs_kernel(
+    label: impl Into<String>,
+    hidden: usize,
+    alloc: &mut RegionAllocator,
+) -> KernelDesc {
     let h = hidden as u64;
     KernelDesc::builder(label, KernelKind::Drs)
         .flops(2 * h)
@@ -190,7 +199,10 @@ pub struct NetworkRun {
 impl NetworkRun {
     /// Iterates over the full kernel trace in execution order.
     pub fn trace(&self) -> impl Iterator<Item = &KernelDesc> {
-        self.layers.iter().flat_map(|l| l.trace.iter()).chain(self.tail_trace.iter())
+        self.layers
+            .iter()
+            .flat_map(|l| l.trace.iter())
+            .chain(self.tail_trace.iter())
     }
 
     /// The argmax class of the logits.
@@ -198,20 +210,29 @@ impl NetworkRun {
     /// # Panics
     /// Panics if the logits are empty.
     pub fn predicted_class(&self) -> usize {
-        self.logits.argmax().expect("head produces at least one logit")
+        self.logits
+            .argmax()
+            .expect("head produces at least one logit")
     }
 
     /// Declares the run's weight regions on a device (reload tracking),
     /// using the network the run came from.
     pub fn declare_regions(&self, device: &mut GpuDevice, net: &LstmNetwork) {
         let cfg = net.config();
-        self.regions.declare_on(device, |_| cfg.united_u_bytes(), |l| cfg.united_w_bytes(l));
+        self.regions
+            .declare_on(device, |_| cfg.united_u_bytes(), |l| cfg.united_w_bytes(l));
     }
 }
 
 /// The state-of-the-art baseline: Algorithm 1 with cuDNN-style kernels —
 /// one `Sgemm(W, x)` per layer, then a strictly sequential per-cell loop of
 /// `Sgemv(U_{f,i,c,o}, h_{t-1})` + `lstm_ew`.
+///
+/// This is a facade over the plan pipeline: `run` compiles a baseline
+/// [`ExecutionPlan`] for the input's length and executes it immediately.
+/// Callers that run many sequences should compile the plan once with
+/// [`ExecutionPlan::compile_baseline`] and reuse a
+/// [`PlanRuntime`](crate::plan::PlanRuntime) instead.
 #[derive(Debug, Clone, Copy)]
 pub struct BaselineExecutor<'a> {
     net: &'a LstmNetwork,
@@ -230,52 +251,10 @@ impl<'a> BaselineExecutor<'a> {
     /// Panics if `xs` is empty.
     pub fn run(&self, xs: &[Vector]) -> NetworkRun {
         assert!(!xs.is_empty(), "BaselineExecutor::run: empty input");
-        let cfg = self.net.config();
-        let mut alloc = RegionAllocator::new();
-        let regions = NetworkRegions::allocate(&mut alloc, cfg.num_layers);
-
-        let mut layers = Vec::with_capacity(cfg.num_layers);
-        let mut current: Vec<Vector> = xs.to_vec();
-        for (l, layer) in self.net.layers().iter().enumerate() {
-            let mut trace = Vec::new();
-            // Algorithm 1 line 2: per-layer Sgemm(W, x).
-            trace.push(wx_sgemm_kernel(
-                l,
-                regions.layers[l].w,
-                layer.hidden(),
-                layer.input_dim(),
-                current.len(),
-                &mut alloc,
-            ));
-            let wx: Vec<GatePreacts> = layer.precompute_wx(&current);
-            // Algorithm 1 lines 3-6: sequential per-cell Sgemv + lstm_ew.
-            let mut h = Vector::zeros(layer.hidden());
-            let mut c = Vector::zeros(layer.hidden());
-            let mut hs = Vec::with_capacity(wx.len());
-            for (t, pre) in wx.iter().enumerate() {
-                trace.push(u_sgemv_kernel(
-                    format!("Sgemv(U_fico,h) l{l} t{t}"),
-                    regions.layers[l].u_full,
-                    4 * layer.hidden(),
-                    layer.hidden(),
-                    &mut alloc,
-                ));
-                let (h_next, c_next) = layer.weights().step(pre, &h, &c);
-                h = h_next;
-                c = c_next;
-                hs.push(h.clone());
-                trace.push(ew_kernel(format!("lstm_ew l{l} t{t}"), layer.hidden(), 1, &mut alloc));
-            }
-            current = hs.clone();
-            layers.push(LayerRun { hs, trace });
-        }
-
-        let logits = self
-            .net
-            .apply_head(current.last().expect("non-empty sequence"));
-        let tail_trace =
-            vec![head_kernel(regions.head, cfg.num_classes, cfg.hidden_size, &mut alloc)];
-        NetworkRun { layers, logits, tail_trace, regions }
+        let plan = ExecutionPlan::compile_baseline(self.net, xs.len());
+        let mut collector = TraceCollector::default();
+        let output = PlanRuntime::new().run_lstm(&plan, self.net, xs, &mut collector);
+        collector.into_network_run(plan.regions, output)
     }
 }
 
@@ -334,7 +313,11 @@ mod tests {
         let share = report.time_share_of(KernelKind::Sgemv);
         assert!(share > 0.85, "Sgemv share = {share}");
         // Every cell reloads the united matrix: reload factor ~ seq_len.
-        assert!(dev.max_reload_factor() > 70.0, "reload {}", dev.max_reload_factor());
+        assert!(
+            dev.max_reload_factor() > 70.0,
+            "reload {}",
+            dev.max_reload_factor()
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub fn find_breakpoints(relevances: &[f64], alpha_inter: f64) -> Vec<usize> {
 /// deduplicated finite relevance values. Binary-searching over these finds
 /// the α_inter upper limit of Fig. 10 step 2.
 pub fn candidate_thresholds(relevances: &[f64]) -> Vec<f64> {
-    let mut finite: Vec<f64> = relevances.iter().copied().filter(|s| s.is_finite()).collect();
+    let mut finite: Vec<f64> = relevances
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .collect();
     finite.sort_by(f64::total_cmp);
     finite.dedup();
     finite

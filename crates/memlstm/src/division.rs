@@ -41,12 +41,24 @@ pub fn divide(seq_len: usize, breakpoints: &[usize]) -> Vec<SubLayer> {
     let mut start = 0usize;
     let mut out = Vec::with_capacity(breakpoints.len() + 1);
     for &bp in breakpoints {
-        assert!(bp > start, "breakpoints must be sorted, unique, and non-zero");
-        assert!(bp < seq_len, "breakpoint {bp} out of range for seq_len {seq_len}");
-        out.push(SubLayer { start, len: bp - start });
+        assert!(
+            bp > start,
+            "breakpoints must be sorted, unique, and non-zero"
+        );
+        assert!(
+            bp < seq_len,
+            "breakpoint {bp} out of range for seq_len {seq_len}"
+        );
+        out.push(SubLayer {
+            start,
+            len: bp - start,
+        });
         start = bp;
     }
-    out.push(SubLayer { start, len: seq_len - start });
+    out.push(SubLayer {
+        start,
+        len: seq_len - start,
+    });
     out
 }
 

@@ -2,23 +2,21 @@
 //!
 //! [`OptimizedExecutor`] runs a network with the inter-cell optimization
 //! (layer division + reorganization into tissues), the intra-cell
-//! optimization (Dynamic Row Skip), or both — producing real numbers and
-//! the kernel trace the GPU model prices, exactly like the baseline
-//! executor in the `lstm` crate.
+//! optimization (Dynamic Row Skip), or both.
+//!
+//! It is a facade over the plan pipeline: [`OptimizedExecutor::plan`]
+//! compiles the offline analyses into an [`ExecutionPlan`]
+//! (see [`crate::compile`]), and [`run`](OptimizedExecutor::run) executes
+//! that plan immediately on the same input with a
+//! [`PlanRuntime`](lstm::plan::PlanRuntime). Callers that evaluate many
+//! sequences should compile the plan once and reuse it — that is what
+//! `Evaluator` in the `thresholds` module does.
 
-use crate::breakpoints::find_breakpoints;
-use crate::division::{divide, SubLayer};
-use crate::drs::{skip_cost, trivial_row_mask, union_active, DrsConfig, DrsMode};
+use crate::drs::DrsConfig;
 use crate::prediction::NetworkPredictors;
-use crate::relevance::{relevance_flops, RelevanceAnalyzer};
-use crate::tissue::{form_tissues, schedule_tissues, schedule_tissues_balanced, Tissue};
-use gpu_sim::{KernelDesc, KernelKind, RegionId};
-use lstm::cell::GatePreacts;
-use lstm::regions::{NetworkRegions, RegionAllocator};
-use lstm::schedule::{
-    drs_kernel, ew_kernel, head_kernel, tissue_sgemm_kernel, u_sgemv_kernel, wx_sgemm_kernel,
-    LayerRun, NetworkRun, F32,
-};
+use crate::relevance::RelevanceAnalyzer;
+use lstm::plan::{ExecutionPlan, PlanOutput, PlanRuntime, TraceCollector};
+use lstm::schedule::NetworkRun;
 use lstm::LstmNetwork;
 use tensor::Vector;
 
@@ -76,7 +74,10 @@ impl OptimizerConfig {
 
     /// Both levels combined (Fig. 14's "overall" bars).
     pub fn combined(alpha_inter: f64, mts: usize, drs: DrsConfig) -> Self {
-        Self { drs, ..Self::inter_only(alpha_inter, mts) }
+        Self {
+            drs,
+            ..Self::inter_only(alpha_inter, mts)
+        }
     }
 
     /// Whether the intra-cell level is active.
@@ -108,13 +109,34 @@ pub struct OptRunStats {
 }
 
 impl OptRunStats {
+    /// Combines a plan's structural statistics with a run's skip
+    /// accounting.
+    pub fn from_plan_run(plan: &ExecutionPlan, output: &PlanOutput) -> Self {
+        let per_layer = plan
+            .layer_stats()
+            .iter()
+            .zip(&output.layer_skips)
+            .map(|(s, skip)| LayerStats {
+                breakpoints: s.breakpoints,
+                sublayers: s.sublayers,
+                tissues: s.tissues,
+                mean_tissue_size: s.mean_tissue_size,
+                mean_skip_fraction: skip.mean(),
+            })
+            .collect();
+        Self { per_layer }
+    }
+
     /// Mean skip fraction across layers (the DRS compression measure
     /// before the 3/4 united-matrix scaling).
     pub fn mean_skip_fraction(&self) -> f64 {
         if self.per_layer.is_empty() {
             return 0.0;
         }
-        self.per_layer.iter().map(|l| l.mean_skip_fraction).sum::<f64>()
+        self.per_layer
+            .iter()
+            .map(|l| l.mean_skip_fraction)
+            .sum::<f64>()
             / self.per_layer.len() as f64
     }
 
@@ -123,7 +145,10 @@ impl OptRunStats {
         if self.per_layer.is_empty() {
             return 0.0;
         }
-        self.per_layer.iter().map(|l| l.mean_tissue_size).sum::<f64>()
+        self.per_layer
+            .iter()
+            .map(|l| l.mean_tissue_size)
+            .sum::<f64>()
             / self.per_layer.len() as f64
     }
 }
@@ -146,16 +171,59 @@ impl<'a> OptimizedExecutor<'a> {
         config: OptimizerConfig,
     ) -> Self {
         let analyzers = if config.inter {
-            net.layers().iter().map(|l| RelevanceAnalyzer::new(l.weights())).collect()
+            net.layers()
+                .iter()
+                .map(|l| RelevanceAnalyzer::new(l.weights()))
+                .collect()
         } else {
             Vec::new()
         };
-        Self { net, predictors, config, analyzers }
+        Self {
+            net,
+            predictors,
+            config,
+            analyzers,
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &OptimizerConfig {
         &self.config
+    }
+
+    /// The network this executor plans for.
+    pub fn network(&self) -> &LstmNetwork {
+        self.net
+    }
+
+    /// Compiles an [`ExecutionPlan`] against a single `probe` sequence,
+    /// running the offline analyses (relevance, breakpoints, division,
+    /// tissue alignment) once.
+    ///
+    /// # Panics
+    /// Panics if `probe` is empty.
+    pub fn plan(&self, probe: &[Vector]) -> ExecutionPlan {
+        let probe = probe.to_vec();
+        self.plan_probes(std::slice::from_ref(&probe))
+    }
+
+    /// Compiles an [`ExecutionPlan`] against a whole offline set: per-link
+    /// relevances are averaged across probes, so the plan only breaks
+    /// links that are weak on average over the offline distribution. This
+    /// is the right entry point for plan-reuse callers — a plan calibrated
+    /// on one sequence breaks links other inputs rely on.
+    ///
+    /// # Panics
+    /// Panics if `probes` is empty, or the sequences are empty or differ
+    /// in length.
+    pub fn plan_probes(&self, probes: &[Vec<Vector>]) -> ExecutionPlan {
+        crate::compile::compile(
+            self.net,
+            self.predictors,
+            &self.analyzers,
+            &self.config,
+            probes,
+        )
     }
 
     /// Runs the network, returning the numbers + trace.
@@ -168,429 +236,44 @@ impl<'a> OptimizedExecutor<'a> {
 
     /// Runs the network, also returning per-layer optimization statistics.
     ///
+    /// Compiles a plan with `xs` itself as the probe and executes it
+    /// immediately — the one-shot path. Plan-reuse callers should pair
+    /// [`plan`](Self::plan) with a long-lived
+    /// [`PlanRuntime`](lstm::plan::PlanRuntime) instead.
+    ///
     /// # Panics
     /// Panics if `xs` is empty.
     pub fn run_detailed(&self, xs: &[Vector]) -> (NetworkRun, OptRunStats) {
         assert!(!xs.is_empty(), "OptimizedExecutor::run: empty input");
-        let cfg = self.net.config();
-        let mut alloc = RegionAllocator::new();
-        let regions = NetworkRegions::allocate(&mut alloc, cfg.num_layers);
-
-        let mut layers = Vec::with_capacity(cfg.num_layers);
-        let mut stats = OptRunStats::default();
-        let mut current: Vec<Vector> = xs.to_vec();
-        for l in 0..cfg.num_layers {
-            let (run, layer_stats) = self.run_layer(l, &current, &regions, &mut alloc);
-            current = run.hs.clone();
-            layers.push(run);
-            stats.per_layer.push(layer_stats);
-        }
-
-        let logits = self.net.apply_head(current.last().expect("non-empty sequence"));
-        let tail_trace =
-            vec![head_kernel(regions.head, cfg.num_classes, cfg.hidden_size, &mut alloc)];
-        (NetworkRun { layers, logits, tail_trace, regions }, stats)
+        let plan = self.plan(xs);
+        let mut collector = TraceCollector::default();
+        let output = PlanRuntime::new().run_lstm(&plan, self.net, xs, &mut collector);
+        let stats = OptRunStats::from_plan_run(&plan, &output);
+        (collector.into_network_run(plan.regions, output), stats)
     }
-
-    fn run_layer(
-        &self,
-        l: usize,
-        inputs: &[Vector],
-        regions: &NetworkRegions,
-        alloc: &mut RegionAllocator,
-    ) -> (LayerRun, LayerStats) {
-        let layer = &self.net.layers()[l];
-        let hidden = layer.hidden();
-        let n = inputs.len();
-        let mut trace = Vec::new();
-
-        // Per-layer Sgemm(W, x) — shared by every flow (Algorithm 1/3
-        // line 2, Fig. 10 runtime step).
-        trace.push(wx_sgemm_kernel(l, regions.layers[l].w, hidden, layer.input_dim(), n, alloc));
-        let wx: Vec<GatePreacts> = layer.precompute_wx(inputs);
-
-        if self.config.inter {
-            self.run_layer_tissues(l, &wx, regions, alloc, trace)
-        } else if self.config.intra_enabled() {
-            self.run_layer_drs(l, &wx, regions, alloc, trace)
-        } else {
-            self.run_layer_baseline(l, &wx, regions, alloc, trace)
-        }
-    }
-
-    /// Baseline per-cell flow (used when both levels are disabled, e.g. by
-    /// threshold set 0).
-    fn run_layer_baseline(
-        &self,
-        l: usize,
-        wx: &[GatePreacts],
-        regions: &NetworkRegions,
-        alloc: &mut RegionAllocator,
-        mut trace: Vec<KernelDesc>,
-    ) -> (LayerRun, LayerStats) {
-        let layer = &self.net.layers()[l];
-        let hidden = layer.hidden();
-        let mut h = Vector::zeros(hidden);
-        let mut c = Vector::zeros(hidden);
-        let mut hs = Vec::with_capacity(wx.len());
-        for (t, pre) in wx.iter().enumerate() {
-            trace.push(u_sgemv_kernel(
-                format!("Sgemv(U_fico,h) l{l} t{t}"),
-                regions.layers[l].u_full,
-                4 * hidden,
-                hidden,
-                alloc,
-            ));
-            let (h2, c2) = layer.weights().step(pre, &h, &c);
-            h = h2;
-            c = c2;
-            hs.push(h.clone());
-            trace.push(ew_kernel(format!("lstm_ew l{l} t{t}"), hidden, 1, alloc));
-        }
-        let stats = LayerStats {
-            breakpoints: 0,
-            sublayers: 1,
-            tissues: wx.len(),
-            mean_tissue_size: 1.0,
-            mean_skip_fraction: 0.0,
-        };
-        (LayerRun { hs, trace }, stats)
-    }
-
-    /// Intra-cell only: the Algorithm 3 per-cell flow.
-    fn run_layer_drs(
-        &self,
-        l: usize,
-        wx: &[GatePreacts],
-        regions: &NetworkRegions,
-        alloc: &mut RegionAllocator,
-        mut trace: Vec<KernelDesc>,
-    ) -> (LayerRun, LayerStats) {
-        let layer = &self.net.layers()[l];
-        let weights = layer.weights();
-        let hidden = layer.hidden();
-        let drs = self.config.drs;
-        let mut h = Vector::zeros(hidden);
-        let mut c = Vector::zeros(hidden);
-        let mut hs = Vec::with_capacity(wx.len());
-        let mut skip_sum = 0.0f64;
-        for (t, pre) in wx.iter().enumerate() {
-            // Line 4: Sgemv(U_o, h_{t-1}).
-            trace.push(u_sgemv_kernel(
-                format!("Sgemv(U_o,h) l{l} t{t}"),
-                regions.layers[l].u_o,
-                hidden,
-                hidden,
-                alloc,
-            ));
-            // Line 5: lstm_ew(o_t).
-            trace.push(gate_ew_kernel(format!("lstm_ew(o) l{l} t{t}"), hidden, 1, alloc));
-            let o = weights.output_gate(&pre.o, &h);
-            // Line 6: DRS(o_t, alpha, R).
-            trace.push(drs_kernel(format!("DRS l{l} t{t}"), hidden, alloc));
-            let active = trivial_row_mask(&o, drs.alpha_intra);
-            let frac = crate::drs::skip_fraction(&active);
-            skip_sum += frac;
-            // Line 7: Sgemv(U_fic, h_{t-1}, R).
-            trace.push(fic_kernel(
-                format!("Sgemv(U_fic,h,R) l{l} t{t}"),
-                regions.layers[l].u_fic,
-                hidden,
-                &[active.clone()],
-                drs.mode,
-                alloc,
-            ));
-            // Line 8: lstm_ew(f, i, c, h).
-            trace.push(ew_kernel(format!("lstm_ew l{l} t{t}"), hidden, 1, alloc));
-            let (h2, c2) = weights.step_masked(pre, &h, &c, &o, &active);
-            h = h2;
-            c = c2;
-            hs.push(h.clone());
-        }
-        let stats = LayerStats {
-            breakpoints: 0,
-            sublayers: 1,
-            tissues: wx.len(),
-            mean_tissue_size: 1.0,
-            mean_skip_fraction: skip_sum / wx.len().max(1) as f64,
-        };
-        (LayerRun { hs, trace }, stats)
-    }
-
-    /// Inter-cell flow (optionally with DRS inside each tissue): the
-    /// runtime steps 5-9 of Fig. 10.
-    fn run_layer_tissues(
-        &self,
-        l: usize,
-        wx: &[GatePreacts],
-        regions: &NetworkRegions,
-        alloc: &mut RegionAllocator,
-        mut trace: Vec<KernelDesc>,
-    ) -> (LayerRun, LayerStats) {
-        let layer = &self.net.layers()[l];
-        let weights = layer.weights();
-        let hidden = layer.hidden();
-        let n = wx.len();
-
-        // Step 5: breakpoints search — priced as a light kernel over the
-        // already-resident Wx values.
-        let relevances = self.analyzers[l].layer_relevances(wx);
-        trace.push(
-            KernelDesc::builder(format!("breakpoint_search l{l}"), KernelKind::Other)
-                .flops(relevance_flops(hidden) * n as u64)
-                .read(alloc.fresh(), (n * 4 * hidden) as u64 * F32)
-                .write(alloc.fresh(), n as u64 * 8)
-                .smem((n * 4 * hidden) as u64 * F32)
-                .threads(n as u64 * 32, 128)
-                .build(),
-        );
-        let bps = find_breakpoints(&relevances, self.config.alpha_inter);
-        let sublayers = divide(n, &bps);
-
-        // Step 6: accuracy recovery — injecting the predicted link.
-        if !bps.is_empty() {
-            trace.push(
-                KernelDesc::builder(format!("link_prediction l{l}"), KernelKind::Other)
-                    .flops((bps.len() * hidden) as u64)
-                    .read(alloc.fresh(), 2 * hidden as u64 * F32)
-                    .write(alloc.fresh(), (bps.len() * 2 * hidden) as u64 * F32)
-                    .threads((bps.len() * hidden) as u64, 128)
-                    .build(),
-            );
-        }
-
-        // Steps 7-8: tissue formation + alignment.
-        let tissues: Vec<Tissue> = if !self.config.align {
-            form_tissues(&sublayers)
-        } else if self.config.balanced_schedule {
-            schedule_tissues_balanced(&sublayers, self.config.mts)
-        } else {
-            schedule_tissues(&sublayers, self.config.mts)
-        };
-        debug_assert!(crate::tissue::validate_schedule(
-            &sublayers,
-            &tissues,
-            self.config.align.then_some(self.config.mts)
-        )
-        .is_ok());
-
-        let predicted = self.predictors.layer(l);
-        let start_of_sublayer: std::collections::HashMap<usize, usize> =
-            sublayers.iter().enumerate().map(|(i, s)| (s.start, i)).collect();
-
-        // Step 9: per-tissue batched execution.
-        let mut h_out: Vec<Option<Vector>> = vec![None; n];
-        let mut c_out: Vec<Option<Vector>> = vec![None; n];
-        let mut skip_sum = 0.0f64;
-        let mut skip_count = 0usize;
-        for (k, tissue) in tissues.iter().enumerate() {
-            let t_size = tissue.size();
-            // Gather each member cell's (h_prev, c_prev).
-            let prev: Vec<(Vector, Vector)> = tissue
-                .cells
-                .iter()
-                .map(|&t| self.prev_state(t, &start_of_sublayer, &sublayers, &h_out, &c_out, predicted, hidden))
-                .collect();
-
-            if self.config.intra_enabled() {
-                let drs = self.config.drs;
-                // Sgemm(U_o, H_t) + lstm_ew(o) + DRS + Sgemm(U_fic, H_t, R).
-                trace.push(uo_tissue_kernel(
-                    format!("Sgemm(U_o,H) l{l} k{k}"),
-                    regions.layers[l].u_o,
-                    hidden,
-                    t_size,
-                    alloc,
-                ));
-                trace.push(gate_ew_kernel(format!("lstm_ew(o) l{l} k{k}"), hidden, t_size, alloc));
-                trace.push(drs_kernel(format!("DRS l{l} k{k}"), hidden, alloc));
-                let os: Vec<Vector> = tissue
-                    .cells
-                    .iter()
-                    .zip(&prev)
-                    .map(|(&t, (h_prev, _))| weights.output_gate(&wx[t].o, h_prev))
-                    .collect();
-                let masks: Vec<Vec<bool>> =
-                    os.iter().map(|o| trivial_row_mask(o, drs.alpha_intra)).collect();
-                for m in &masks {
-                    skip_sum += crate::drs::skip_fraction(m);
-                    skip_count += 1;
-                }
-                trace.push(fic_kernel(
-                    format!("Sgemm(U_fic,H,R) l{l} k{k}"),
-                    regions.layers[l].u_fic,
-                    hidden,
-                    &masks,
-                    drs.mode,
-                    alloc,
-                ));
-                trace.push(ew_kernel(format!("lstm_ew l{l} k{k}"), hidden, t_size, alloc));
-                for (((&t, (h_prev, c_prev)), o), mask) in
-                    tissue.cells.iter().zip(&prev).zip(&os).zip(&masks)
-                {
-                    let (h, c) = weights.step_masked(&wx[t], h_prev, c_prev, o, mask);
-                    h_out[t] = Some(h);
-                    c_out[t] = Some(c);
-                }
-            } else {
-                // Sgemm(U_fico, H_t) + batched lstm_ew.
-                trace.push(tissue_sgemm_kernel(
-                    format!("Sgemm(U,H) l{l} k{k}"),
-                    regions.layers[l].u_full,
-                    hidden,
-                    t_size,
-                    alloc,
-                ));
-                trace.push(ew_kernel(format!("lstm_ew l{l} k{k}"), hidden, t_size, alloc));
-                for (&t, (h_prev, c_prev)) in tissue.cells.iter().zip(&prev) {
-                    let (h, c) = weights.step(&wx[t], h_prev, c_prev);
-                    h_out[t] = Some(h);
-                    c_out[t] = Some(c);
-                }
-            }
-        }
-
-        let hs: Vec<Vector> =
-            h_out.into_iter().map(|h| h.expect("every cell scheduled exactly once")).collect();
-        let stats = LayerStats {
-            breakpoints: bps.len(),
-            sublayers: sublayers.len(),
-            tissues: tissues.len(),
-            mean_tissue_size: n as f64 / tissues.len().max(1) as f64,
-            mean_skip_fraction: if skip_count > 0 { skip_sum / skip_count as f64 } else { 0.0 },
-        };
-        (LayerRun { hs, trace }, stats)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn prev_state(
-        &self,
-        t: usize,
-        start_of_sublayer: &std::collections::HashMap<usize, usize>,
-        sublayers: &[SubLayer],
-        h_out: &[Option<Vector>],
-        c_out: &[Option<Vector>],
-        predicted: &crate::prediction::LinkPredictor,
-        hidden: usize,
-    ) -> (Vector, Vector) {
-        if let Some(&sub_idx) = start_of_sublayer.get(&t) {
-            if sublayers[sub_idx].start == 0 && t == 0 {
-                // First cell of the layer: genuine zero initial state.
-                (Vector::zeros(hidden), Vector::zeros(hidden))
-            } else if self.config.use_predicted_link {
-                // Broken link: inject the Eq. 6 prediction.
-                (predicted.h_mean().clone(), predicted.c_mean().clone())
-            } else {
-                (Vector::zeros(hidden), Vector::zeros(hidden))
-            }
-        } else {
-            let h = h_out[t - 1]
-                .as_ref()
-                .expect("tissue schedule guarantees the predecessor already ran")
-                .clone();
-            let c = c_out[t - 1].as_ref().expect("predecessor state present").clone();
-            (h, c)
-        }
-    }
-}
-
-/// `Sgemm(U_o, H_t)`: the output-gate slice over a whole tissue.
-fn uo_tissue_kernel(
-    label: String,
-    u_o_region: RegionId,
-    hidden: usize,
-    tissue_size: usize,
-    alloc: &mut RegionAllocator,
-) -> KernelDesc {
-    let (h, t) = (hidden as u64, tissue_size as u64);
-    let u_bytes = h * h * F32;
-    let h_bytes = t * h * F32;
-    KernelDesc::builder(label, KernelKind::Sgemm)
-        .flops(2 * h * h * t)
-        .read(u_o_region, u_bytes)
-        .read(alloc.fresh(), h_bytes)
-        .write(alloc.fresh(), t * h * F32)
-        .smem(u_bytes * t + h_bytes)
-        .threads(h * t, 256)
-        .build()
-}
-
-/// The activation-only element-wise kernel computing a single gate
-/// (Algorithm 3 line 5): one sigmoid per element.
-fn gate_ew_kernel(
-    label: String,
-    hidden: usize,
-    batch: usize,
-    alloc: &mut RegionAllocator,
-) -> KernelDesc {
-    let (h, b) = (hidden as u64, batch as u64);
-    let bytes = b * 2 * h * F32 + h * F32;
-    KernelDesc::builder(label, KernelKind::ElementWise)
-        .flops(12 * h * b)
-        .read(alloc.fresh(), bytes)
-        .write(alloc.fresh(), b * h * F32)
-        .smem(bytes)
-        .threads(h * b, 128)
-        .build()
-}
-
-/// The row-masked `Sgemv/Sgemm(U_fic, ·, R)` kernel (Algorithm 3 line 7,
-/// batched over a tissue when masks has several columns).
-///
-/// DRAM traffic covers the union of rows any member cell needs; compute
-/// covers each cell's own active rows; the skipped threads either pay
-/// divergence (software) or route through the CRM (hardware).
-fn fic_kernel(
-    label: String,
-    u_fic_region: RegionId,
-    hidden: usize,
-    masks: &[Vec<bool>],
-    mode: DrsMode,
-    alloc: &mut RegionAllocator,
-) -> KernelDesc {
-    let h = hidden as u64;
-    let t = masks.len() as u64;
-    let union = union_active(masks);
-    let union_rows = union.iter().filter(|&&a| a).count() as u64;
-    let active_total: u64 = masks
-        .iter()
-        .map(|m| m.iter().filter(|&&a| a).count() as u64)
-        .sum();
-    let skipped_total = t * h - active_total;
-    let mean_skip = if t * h > 0 { skipped_total as f64 / (t * h) as f64 } else { 0.0 };
-    let cost = skip_cost(mode, mean_skip);
-
-    let union_bytes = 3 * union_rows * h * F32;
-    let h_bytes = t * h * F32;
-    let kind = if t > 1 { KernelKind::Sgemm } else { KernelKind::Sgemv };
-    KernelDesc::builder(label, kind)
-        .flops(2 * 3 * active_total * h)
-        .read(u_fic_region, union_bytes)
-        .read(alloc.fresh(), h_bytes)
-        .write(alloc.fresh(), t * 3 * h * F32)
-        .smem(3 * active_total * h * F32 + h_bytes)
-        .threads(3 * h * t, 256)
-        .divergence(cost.divergence)
-        .dram_derate(cost.dram_derate)
-        .skips(3 * skipped_total, cost.uses_crm)
-        .build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::drs::DrsMode;
     use crate::prediction::NetworkPredictors;
-    use gpu_sim::{GpuConfig, GpuDevice};
+    use gpu_sim::{GpuConfig, GpuDevice, KernelKind};
     use lstm::{BaselineExecutor, ModelConfig};
     use tensor::init::seeded_rng;
 
-    fn setup(hidden: usize, layers: usize, seq: usize) -> (LstmNetwork, Vec<Vector>, NetworkPredictors) {
+    fn setup(
+        hidden: usize,
+        layers: usize,
+        seq: usize,
+    ) -> (LstmNetwork, Vec<Vector>, NetworkPredictors) {
         let config = ModelConfig::new("t", hidden, hidden, layers, seq, 4).unwrap();
         let mut rng = seeded_rng(7);
         let net = LstmNetwork::random(&config, &mut rng);
         let xs = lstm::random_inputs(&config, &mut rng);
-        let offline: Vec<Vec<Vector>> =
-            (0..4).map(|_| lstm::random_inputs(&config, &mut rng)).collect();
+        let offline: Vec<Vec<Vector>> = (0..4)
+            .map(|_| lstm::random_inputs(&config, &mut rng))
+            .collect();
         let predictors = NetworkPredictors::collect(&net, &offline);
         (net, xs, predictors)
     }
@@ -610,7 +293,10 @@ mod tests {
     #[test]
     fn intra_only_zero_alpha_matches_baseline() {
         let (net, xs, preds) = setup(16, 1, 6);
-        let cfg = OptimizerConfig::intra_only(DrsConfig { alpha_intra: 0.0, mode: DrsMode::Hardware });
+        let cfg = OptimizerConfig::intra_only(DrsConfig {
+            alpha_intra: 0.0,
+            mode: DrsMode::Hardware,
+        });
         // alpha 0 -> DRS disabled -> plain baseline flow.
         let run = OptimizedExecutor::new(&net, &preds, cfg).run(&xs);
         assert_eq!(run.logits, net.forward(&xs).logits);
@@ -619,7 +305,10 @@ mod tests {
     #[test]
     fn intra_only_small_alpha_stays_close_to_exact() {
         let (net, xs, preds) = setup(32, 2, 8);
-        let cfg = OptimizerConfig::intra_only(DrsConfig { alpha_intra: 0.02, mode: DrsMode::Hardware });
+        let cfg = OptimizerConfig::intra_only(DrsConfig {
+            alpha_intra: 0.02,
+            mode: DrsMode::Hardware,
+        });
         let run = OptimizedExecutor::new(&net, &preds, cfg).run(&xs);
         let exact = net.forward(&xs);
         let diff = run.logits.sub(&exact.logits).max_abs();
@@ -630,14 +319,23 @@ mod tests {
     fn intra_skip_fraction_grows_with_alpha() {
         let (net, xs, preds) = setup(48, 1, 6);
         let frac_at = |alpha: f32| {
-            let cfg = OptimizerConfig::intra_only(DrsConfig { alpha_intra: alpha, mode: DrsMode::Hardware });
+            let cfg = OptimizerConfig::intra_only(DrsConfig {
+                alpha_intra: alpha,
+                mode: DrsMode::Hardware,
+            });
             let (_, stats) = OptimizedExecutor::new(&net, &preds, cfg).run_detailed(&xs);
             stats.mean_skip_fraction()
         };
         let lo = frac_at(0.01);
         let hi = frac_at(0.2);
-        assert!(hi >= lo, "skip fraction must grow with alpha ({lo} -> {hi})");
-        assert!(hi > 0.1, "saturated output gates should produce real skips, got {hi}");
+        assert!(
+            hi >= lo,
+            "skip fraction must grow with alpha ({lo} -> {hi})"
+        );
+        assert!(
+            hi > 0.1,
+            "saturated output gates should produce real skips, got {hi}"
+        );
     }
 
     #[test]
@@ -671,7 +369,10 @@ mod tests {
         let cfg = OptimizerConfig::combined(
             RelevanceAnalyzer::max_relevance() / 8.0,
             4,
-            DrsConfig { alpha_intra: 0.1, mode: DrsMode::Hardware },
+            DrsConfig {
+                alpha_intra: 0.1,
+                mode: DrsMode::Hardware,
+            },
         );
         let (run, stats) = OptimizedExecutor::new(&net, &preds, cfg).run_detailed(&xs);
         assert_eq!(run.layers.len(), 2);
@@ -691,7 +392,10 @@ mod tests {
         let cfg = OptimizerConfig::combined(
             RelevanceAnalyzer::max_relevance() + 1.0,
             5,
-            DrsConfig { alpha_intra: 0.1, mode: DrsMode::Hardware },
+            DrsConfig {
+                alpha_intra: 0.1,
+                mode: DrsMode::Hardware,
+            },
         );
         let opt_run = OptimizedExecutor::new(&net, &preds, cfg).run(&xs);
         dev.reset();
@@ -719,14 +423,20 @@ mod tests {
             let with_pred = OptimizedExecutor::new(
                 &net,
                 &preds,
-                OptimizerConfig { use_predicted_link: true, ..OptimizerConfig::inter_only(alpha, 5) },
+                OptimizerConfig {
+                    use_predicted_link: true,
+                    ..OptimizerConfig::inter_only(alpha, 5)
+                },
             )
             .run(&xs)
             .logits;
             let with_zero = OptimizedExecutor::new(
                 &net,
                 &preds,
-                OptimizerConfig { use_predicted_link: false, ..OptimizerConfig::inter_only(alpha, 5) },
+                OptimizerConfig {
+                    use_predicted_link: false,
+                    ..OptimizerConfig::inter_only(alpha, 5)
+                },
             )
             .run(&xs)
             .logits;
@@ -752,6 +462,39 @@ mod tests {
         for h in &run.layers[0].hs {
             assert_eq!(h.len(), 16);
         }
+    }
+
+    #[test]
+    fn plan_reuse_matches_one_shot_execution() {
+        // A plan compiled against a probe and executed on that same probe
+        // must equal the one-shot facade run bit for bit — numerics and
+        // kernel stream alike.
+        let (net, xs, preds) = setup(32, 2, 10);
+        let cfg = OptimizerConfig::combined(
+            RelevanceAnalyzer::max_relevance() / 6.0,
+            4,
+            DrsConfig {
+                alpha_intra: 0.08,
+                mode: DrsMode::Hardware,
+            },
+        );
+        let exec = OptimizedExecutor::new(&net, &preds, cfg);
+        let (run, stats) = exec.run_detailed(&xs);
+
+        let plan = exec.plan(&xs);
+        let mut runtime = PlanRuntime::new();
+        let mut first: Vec<gpu_sim::KernelDesc> = Vec::new();
+        let out1 = runtime.run_lstm(&plan, &net, &xs, &mut first);
+        assert_eq!(out1.logits, run.logits);
+        assert_eq!(first, run.trace().cloned().collect::<Vec<_>>());
+        assert_eq!(OptRunStats::from_plan_run(&plan, &out1), stats);
+
+        // Re-executing the same plan with the same runtime changes
+        // nothing: buffer reuse leaks no state between runs.
+        let mut second: Vec<gpu_sim::KernelDesc> = Vec::new();
+        let out2 = runtime.run_lstm(&plan, &net, &xs, &mut second);
+        assert_eq!(out1, out2);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -7,12 +7,23 @@
 //! The reordered flow computes `z_t` first (`Sgemv(U_z, h)`), thresholds
 //! it, and skips the corresponding rows of `U_r` and `U_h` (two thirds of
 //! the united matrix).
+//!
+//! Like every executor, this is a facade over the plan pipeline:
+//! [`GruDrsExecutor::plan`] lowers the flow into an [`ExecutionPlan`]
+//! whose masked `Sgemv(U_rh, h, R)` is a
+//! [`MaskedUKernel`](lstm::plan::MaskedUKernel) template instantiated at
+//! runtime from the actual update-gate values.
 
-use crate::drs::{skip_cost, trivial_row_mask, DrsConfig};
-use gpu_sim::{KernelDesc, KernelKind};
+use crate::drs::DrsConfig;
 use lstm::gru_exec::GruNetwork;
+use lstm::plan::{
+    ExecutionPlan, GruDrsCellPlan, GruLayerBody, GruLayerPlan, MaskedUKernel, PlanBody,
+    PlanRuntime, TraceCollector,
+};
 use lstm::regions::{NetworkRegions, RegionAllocator};
-use lstm::schedule::{drs_kernel, ew_kernel, head_kernel, u_sgemv_kernel, wx_sgemm_kernel, LayerRun, NetworkRun, F32};
+use lstm::schedule::{
+    drs_kernel, ew_kernel, head_kernel, u_sgemv_kernel, wx_sgemm_kernel, NetworkRun,
+};
 use tensor::Vector;
 
 /// GRU executor with update-gate-driven row skipping.
@@ -28,6 +39,76 @@ impl<'a> GruDrsExecutor<'a> {
         Self { net, config }
     }
 
+    /// Compiles the GRU Dynamic-Row-Skip flow into an [`ExecutionPlan`]
+    /// for sequences of length `seq_len`.
+    ///
+    /// # Panics
+    /// Panics if `seq_len` is zero.
+    pub fn plan(&self, seq_len: usize) -> ExecutionPlan {
+        assert!(seq_len > 0, "GruDrsExecutor::plan: zero-length sequence");
+        let hidden = self.net.hidden();
+        let num_layers = self.net.layers().len();
+        let mut alloc = RegionAllocator::new();
+        let regions = NetworkRegions::allocate(&mut alloc, num_layers);
+        let mut layers = Vec::with_capacity(num_layers);
+        for (l, layer) in self.net.layers().iter().enumerate() {
+            let weights = layer.weights();
+            // Three gates instead of four on the W side (the GRU keeps the
+            // baseline's DRAM accounting here; only flops shrink).
+            let mut wx = wx_sgemm_kernel(
+                l,
+                regions.layers[l].w,
+                hidden,
+                weights.input_dim(),
+                seq_len,
+                &mut alloc,
+            );
+            wx.label = format!("Sgemm(W_rzh,x) layer{l}");
+            wx.flops = wx.flops * 3 / 4;
+            let cells = (0..seq_len)
+                .map(|t| GruDrsCellPlan {
+                    // Step 1: the update gate alone (U_z slice).
+                    uz: u_sgemv_kernel(
+                        format!("Sgemv(U_z,h) l{l} t{t}"),
+                        regions.layers[l].u_o,
+                        hidden,
+                        hidden,
+                        &mut alloc,
+                    ),
+                    // Step 2: threshold into the skip list.
+                    select: drs_kernel(format!("DRS l{l} t{t}"), hidden, &mut alloc),
+                    // Step 3: the masked U_{r,h} GEMV (two gates) — priced
+                    // at runtime from the actual z_t mask.
+                    masked: MaskedUKernel::new(
+                        format!("Sgemv(U_rh,h,R) l{l} t{t}"),
+                        2,
+                        hidden,
+                        1,
+                        regions.layers[l].u_fic,
+                        self.config.mode,
+                        false,
+                        &mut alloc,
+                    ),
+                    ew: ew_kernel(format!("gru_ew l{l} t{t}"), hidden, 1, &mut alloc),
+                })
+                .collect();
+            layers.push(GruLayerPlan {
+                wx,
+                body: GruLayerBody::Drs {
+                    alpha_intra: self.config.alpha_intra,
+                    cells,
+                },
+            });
+        }
+        let head = head_kernel(regions.head, self.net.num_classes(), hidden, &mut alloc);
+        ExecutionPlan {
+            regions,
+            seq_len,
+            body: PlanBody::Gru(layers),
+            head,
+        }
+    }
+
     /// Runs `xs`, producing numbers, the kernel trace, and the mean skip
     /// fraction.
     ///
@@ -35,75 +116,11 @@ impl<'a> GruDrsExecutor<'a> {
     /// Panics if `xs` is empty.
     pub fn run(&self, xs: &[Vector]) -> (NetworkRun, f64) {
         assert!(!xs.is_empty(), "GruDrsExecutor::run: empty input");
-        let hidden = self.net.hidden();
-        let num_layers = self.net.layers().len();
-        let mut alloc = RegionAllocator::new();
-        let regions = NetworkRegions::allocate(&mut alloc, num_layers);
-        let mut layers = Vec::with_capacity(num_layers);
-        let mut current = xs.to_vec();
-        let mut skip_sum = 0.0f64;
-        let mut skip_count = 0usize;
-        for (l, layer) in self.net.layers().iter().enumerate() {
-            let weights = layer.weights();
-            let mut trace: Vec<KernelDesc> = Vec::new();
-            let mut wx = wx_sgemm_kernel(
-                l,
-                regions.layers[l].w,
-                hidden,
-                weights.input_dim(),
-                current.len(),
-                &mut alloc,
-            );
-            wx.label = format!("Sgemm(W_rzh,x) layer{l}");
-            wx.flops = wx.flops * 3 / 4;
-            trace.push(wx);
-
-            let mut h = Vector::zeros(hidden);
-            let mut hs = Vec::with_capacity(current.len());
-            for (t, x) in current.iter().enumerate() {
-                // Step 1: the update gate alone (U_z slice).
-                trace.push(u_sgemv_kernel(
-                    format!("Sgemv(U_z,h) l{l} t{t}"),
-                    regions.layers[l].u_o,
-                    hidden,
-                    hidden,
-                    &mut alloc,
-                ));
-                let z = weights.update_gate(x, &h);
-                // Step 2: threshold into the skip list.
-                trace.push(drs_kernel(format!("DRS l{l} t{t}"), hidden, &mut alloc));
-                let active = trivial_row_mask(&z, self.config.alpha_intra);
-                let frac = crate::drs::skip_fraction(&active);
-                skip_sum += frac;
-                skip_count += 1;
-                // Step 3: the masked U_{r,h} GEMV (two gates).
-                let active_rows = active.iter().filter(|&&a| a).count() as u64;
-                let cost = skip_cost(self.config.mode, frac);
-                let h64 = hidden as u64;
-                trace.push(
-                    KernelDesc::builder(format!("Sgemv(U_rh,h,R) l{l} t{t}"), KernelKind::Sgemv)
-                        .flops(2 * 2 * active_rows * h64)
-                        .read(regions.layers[l].u_fic, 2 * active_rows * h64 * F32)
-                        .read(alloc.fresh(), h64 * F32)
-                        .write(alloc.fresh(), 2 * h64 * F32)
-                        .smem(2 * active_rows * h64 * F32)
-                        .threads(2 * h64, 256)
-                        .divergence(cost.divergence)
-                        .dram_derate(cost.dram_derate)
-                        .skips(2 * (h64 - active_rows), cost.uses_crm)
-                        .build(),
-                );
-                trace.push(ew_kernel(format!("gru_ew l{l} t{t}"), hidden, 1, &mut alloc));
-                h = weights.step_masked(x, &h, &z, &active);
-                hs.push(h.clone());
-            }
-            current = hs.clone();
-            layers.push(LayerRun { hs, trace });
-        }
-        let logits = self.net.apply_head(current.last().expect("non-empty"));
-        let tail_trace = vec![head_kernel(regions.head, logits.len(), hidden, &mut alloc)];
-        let mean_skip = if skip_count > 0 { skip_sum / skip_count as f64 } else { 0.0 };
-        (NetworkRun { layers, logits, tail_trace, regions }, mean_skip)
+        let plan = self.plan(xs.len());
+        let mut collector = TraceCollector::default();
+        let output = PlanRuntime::new().run_gru(&plan, self.net, xs, &mut collector);
+        let mean_skip = output.mean_skip_fraction();
+        (collector.into_network_run(plan.regions, output), mean_skip)
     }
 }
 
@@ -111,7 +128,7 @@ impl<'a> GruDrsExecutor<'a> {
 mod tests {
     use super::*;
     use crate::drs::DrsMode;
-    use gpu_sim::{GpuConfig, GpuDevice};
+    use gpu_sim::{GpuConfig, GpuDevice, KernelDesc};
     use lstm::gru_exec::GruBaselineExecutor;
     use rand::Rng;
     use tensor::init::seeded_rng;
@@ -121,15 +138,22 @@ mod tests {
         // Hidden width large enough that the united matrix does not fit in
         // the L2 (the realistic regime where DRS traffic savings show).
         let net = GruNetwork::random(24, 256, 1, 3, &mut rng);
-        let xs: Vec<Vector> =
-            (0..8).map(|_| Vector::from_fn(24, |_| rng.gen_range(-1.0f32..1.0))).collect();
+        let xs: Vec<Vector> = (0..8)
+            .map(|_| Vector::from_fn(24, |_| rng.gen_range(-1.0f32..1.0)))
+            .collect();
         (net, xs)
     }
 
     #[test]
     fn zero_alpha_matches_exact() {
         let (net, xs) = setup();
-        let exec = GruDrsExecutor::new(&net, DrsConfig { alpha_intra: 0.0, mode: DrsMode::Hardware });
+        let exec = GruDrsExecutor::new(
+            &net,
+            DrsConfig {
+                alpha_intra: 0.0,
+                mode: DrsMode::Hardware,
+            },
+        );
         let (run, skip) = exec.run(&xs);
         let (_, logits) = net.forward(&xs);
         assert_eq!(skip, 0.0);
@@ -143,7 +167,13 @@ mod tests {
         let (net, xs) = setup();
         let mut device = GpuDevice::new(GpuConfig::tegra_x1());
         let base = device.run_trace(GruBaselineExecutor::new(&net).run(&xs).trace());
-        let exec = GruDrsExecutor::new(&net, DrsConfig { alpha_intra: 0.08, mode: DrsMode::Hardware });
+        let exec = GruDrsExecutor::new(
+            &net,
+            DrsConfig {
+                alpha_intra: 0.08,
+                mode: DrsMode::Hardware,
+            },
+        );
         let (run, skip) = exec.run(&xs);
         device.reset();
         let opt = device.run_trace(run.trace());
@@ -154,7 +184,13 @@ mod tests {
     #[test]
     fn skipped_units_copy_history() {
         let (net, xs) = setup();
-        let exec = GruDrsExecutor::new(&net, DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware });
+        let exec = GruDrsExecutor::new(
+            &net,
+            DrsConfig {
+                alpha_intra: 0.05,
+                mode: DrsMode::Hardware,
+            },
+        );
         let (run, _) = exec.run(&xs);
         let (outputs, _) = net.forward(&xs);
         // Bounded divergence from the exact trajectory.
@@ -167,10 +203,37 @@ mod tests {
     fn skip_fraction_grows_with_alpha() {
         let (net, xs) = setup();
         let skip_at = |alpha: f32| {
-            GruDrsExecutor::new(&net, DrsConfig { alpha_intra: alpha, mode: DrsMode::Hardware })
-                .run(&xs)
-                .1
+            GruDrsExecutor::new(
+                &net,
+                DrsConfig {
+                    alpha_intra: alpha,
+                    mode: DrsMode::Hardware,
+                },
+            )
+            .run(&xs)
+            .1
         };
         assert!(skip_at(0.15) >= skip_at(0.03));
+    }
+
+    #[test]
+    fn plan_reuse_matches_one_shot_execution() {
+        let (net, xs) = setup();
+        let exec = GruDrsExecutor::new(
+            &net,
+            DrsConfig {
+                alpha_intra: 0.08,
+                mode: DrsMode::Hardware,
+            },
+        );
+        let (run, skip) = exec.run(&xs);
+
+        let plan = exec.plan(xs.len());
+        let mut runtime = PlanRuntime::new();
+        let mut trace: Vec<KernelDesc> = Vec::new();
+        let out = runtime.run_gru(&plan, &net, &xs, &mut trace);
+        assert_eq!(out.logits, run.logits);
+        assert_eq!(out.mean_skip_fraction(), skip);
+        assert_eq!(trace, run.trace().cloned().collect::<Vec<_>>());
     }
 }

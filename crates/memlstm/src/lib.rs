@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod breakpoints;
+pub mod compile;
 pub mod division;
 pub mod drs;
 pub mod exec;
@@ -75,7 +76,7 @@ pub use mts::{determine_mts, MtsResult, MtsSample};
 pub use prediction::{LinkPredictor, NetworkPredictors};
 pub use pruning::ZeroPruning;
 pub use relevance::RelevanceAnalyzer;
-pub use thresholds::{threshold_sets, select_ao, select_bpa, ThresholdSet, TradeoffPoint};
+pub use thresholds::{select_ao, select_bpa, threshold_sets, ThresholdSet, TradeoffPoint};
 pub use tissue::{form_tissues, schedule_tissues, Tissue};
 pub use tuner::UoTuner;
 pub use user_study::{Participant, StudyResult, UserStudy};

@@ -37,7 +37,10 @@ impl MtsResult {
     /// the paper's Fig. 9 y-axis.
     pub fn normalized_performance(&self) -> Vec<(usize, f64)> {
         let base = self.samples.first().map_or(1.0, |s| s.time_per_cell_s);
-        self.samples.iter().map(|s| (s.tissue_size, base / s.time_per_cell_s)).collect()
+        self.samples
+            .iter()
+            .map(|s| (s.tissue_size, base / s.time_per_cell_s))
+            .collect()
     }
 }
 

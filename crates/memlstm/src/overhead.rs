@@ -39,17 +39,15 @@ fn measure(
     let mut device = GpuDevice::new(gpu.clone());
     let full = device.run_trace(run.trace());
     device.reset();
-    let reduced_trace: Vec<KernelDesc> =
-        run.trace().filter(|k| !is_overhead(k)).cloned().collect();
+    let reduced_trace: Vec<KernelDesc> = run.trace().filter(|k| !is_overhead(k)).cloned().collect();
     let reduced = device.run_trace(&reduced_trace);
     if full.time_s <= 0.0 {
         return OverheadReport::default();
     }
     OverheadReport {
         perf_frac: ((full.time_s - reduced.time_s) / full.time_s).max(0.0),
-        energy_frac: ((full.energy.total_j() - reduced.energy.total_j())
-            / full.energy.total_j())
-        .max(0.0),
+        energy_frac: ((full.energy.total_j() - reduced.energy.total_j()) / full.energy.total_j())
+            .max(0.0),
     }
 }
 
@@ -72,7 +70,10 @@ pub fn crm_overhead(run: &NetworkRun, gpu: &GpuConfig) -> OverheadReport {
     if full.time_s <= 0.0 {
         return OverheadReport::default();
     }
-    OverheadReport { perf_frac: full.crm_s / full.time_s, energy_frac: crm_energy_frac }
+    OverheadReport {
+        perf_frac: full.crm_s / full.time_s,
+        energy_frac: crm_energy_frac,
+    }
 }
 
 #[cfg(test)]
@@ -93,12 +94,17 @@ mod tests {
         let mut rng = seeded_rng(3);
         let net = LstmNetwork::random(&config, &mut rng);
         let xs = lstm::random_inputs(&config, &mut rng);
-        let offline: Vec<_> = (0..3).map(|_| lstm::random_inputs(&config, &mut rng)).collect();
+        let offline: Vec<_> = (0..3)
+            .map(|_| lstm::random_inputs(&config, &mut rng))
+            .collect();
         let preds = NetworkPredictors::collect(&net, &offline);
         let cfg = OptimizerConfig::combined(
             RelevanceAnalyzer::max_relevance() / 4.0,
             5,
-            DrsConfig { alpha_intra: 0.1, mode: DrsMode::Hardware },
+            DrsConfig {
+                alpha_intra: 0.1,
+                mode: DrsMode::Hardware,
+            },
         );
         OptimizedExecutor::new(&net, &preds, cfg).run(&xs)
     }
@@ -110,9 +116,15 @@ mod tests {
         let run = combined_run();
         let gpu = GpuConfig::tegra_x1();
         let inter = inter_overhead(&run, &gpu);
-        assert!(inter.perf_frac > 0.0 && inter.perf_frac < 0.10, "inter {inter:?}");
+        assert!(
+            inter.perf_frac > 0.0 && inter.perf_frac < 0.10,
+            "inter {inter:?}"
+        );
         let intra = intra_overhead(&run, &gpu);
-        assert!(intra.perf_frac > 0.0 && intra.perf_frac < 0.12, "intra {intra:?}");
+        assert!(
+            intra.perf_frac > 0.0 && intra.perf_frac < 0.12,
+            "intra {intra:?}"
+        );
         let crm = crm_overhead(&run, &gpu);
         assert!(crm.perf_frac >= 0.0 && crm.perf_frac < 0.05, "crm {crm:?}");
         assert!(crm.energy_frac < 0.01, "CRM power overhead must be <1%");
@@ -124,7 +136,10 @@ mod tests {
         assert!(run.trace().any(is_inter_overhead));
         assert!(run.trace().any(is_intra_overhead));
         // Main compute kernels are not classified as overhead.
-        let main = run.trace().find(|k| k.label.starts_with("Sgemm(U_fic")).unwrap();
+        let main = run
+            .trace()
+            .find(|k| k.label.starts_with("Sgemm(U_fic"))
+            .unwrap();
         assert!(!is_inter_overhead(main));
         assert!(!is_intra_overhead(main));
     }

@@ -25,17 +25,28 @@ pub struct LinkPredictor {
 impl LinkPredictor {
     /// Builds a predictor from accumulated statistics.
     pub fn from_stats(h_stats: &RunningStats, c_stats: &RunningStats) -> Self {
-        Self { h_mean: h_stats.mean(), c_mean: c_stats.mean(), samples: h_stats.count() }
+        Self {
+            h_mean: h_stats.mean(),
+            c_mean: c_stats.mean(),
+            samples: h_stats.count(),
+        }
     }
 
     /// A zero predictor (the ablation baseline: recover with a zero link).
     pub fn zero(hidden: usize) -> Self {
-        Self { h_mean: Vector::zeros(hidden), c_mean: Vector::zeros(hidden), samples: 0 }
+        Self {
+            h_mean: Vector::zeros(hidden),
+            c_mean: Vector::zeros(hidden),
+            samples: 0,
+        }
     }
 
     /// The predicted state to inject at a breakpoint.
     pub fn predicted_state(&self) -> LayerState {
-        LayerState { h: self.h_mean.clone(), c: self.c_mean.clone() }
+        LayerState {
+            h: self.h_mean.clone(),
+            c: self.c_mean.clone(),
+        }
     }
 
     /// The predicted hidden vector (Eq. 6's `h̄`).
@@ -68,12 +79,17 @@ impl NetworkPredictors {
     /// # Panics
     /// Panics if `offline` is empty.
     pub fn collect(net: &LstmNetwork, offline: &[Vec<Vector>]) -> Self {
-        assert!(!offline.is_empty(), "NetworkPredictors::collect: empty offline set");
+        assert!(
+            !offline.is_empty(),
+            "NetworkPredictors::collect: empty offline set"
+        );
         let hidden = net.config().hidden_size;
-        let mut h_stats: Vec<RunningStats> =
-            (0..net.layers().len()).map(|_| RunningStats::new(hidden)).collect();
-        let mut c_stats: Vec<RunningStats> =
-            (0..net.layers().len()).map(|_| RunningStats::new(hidden)).collect();
+        let mut h_stats: Vec<RunningStats> = (0..net.layers().len())
+            .map(|_| RunningStats::new(hidden))
+            .collect();
+        let mut c_stats: Vec<RunningStats> = (0..net.layers().len())
+            .map(|_| RunningStats::new(hidden))
+            .collect();
         for xs in offline {
             let mut current: Vec<Vector> = xs.clone();
             for (l, layer) in net.layers().iter().enumerate() {
@@ -105,7 +121,13 @@ impl NetworkPredictors {
     /// Zero predictors for every layer (ablation).
     pub fn zeros(net: &LstmNetwork) -> Self {
         let hidden = net.config().hidden_size;
-        Self { layers: net.layers().iter().map(|_| LinkPredictor::zero(hidden)).collect() }
+        Self {
+            layers: net
+                .layers()
+                .iter()
+                .map(|_| LinkPredictor::zero(hidden))
+                .collect(),
+        }
     }
 
     /// The predictor of layer `l`.
@@ -132,8 +154,9 @@ mod tests {
         let config = ModelConfig::new("t", 6, 10, 2, 8, 2).unwrap();
         let mut rng = seeded_rng(3);
         let net = LstmNetwork::random(&config, &mut rng);
-        let offline: Vec<Vec<Vector>> =
-            (0..5).map(|_| lstm::random_inputs(&config, &mut rng)).collect();
+        let offline: Vec<Vec<Vector>> = (0..5)
+            .map(|_| lstm::random_inputs(&config, &mut rng))
+            .collect();
         (net, offline)
     }
 

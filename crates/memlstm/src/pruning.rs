@@ -36,7 +36,10 @@ impl ZeroPruning {
     /// # Panics
     /// Panics if `target` is not within `(0, 1)`.
     pub fn calibrate(net: &LstmNetwork, target: f64) -> Self {
-        assert!(target > 0.0 && target < 1.0, "pruning target must be in (0,1)");
+        assert!(
+            target > 0.0 && target < 1.0,
+            "pruning target must be in (0,1)"
+        );
         let mut magnitudes: Vec<f32> = Vec::new();
         for layer in net.layers() {
             let w = layer.weights();
@@ -48,7 +51,10 @@ impl ZeroPruning {
         let idx = ((magnitudes.len() as f64 * target) as usize).min(magnitudes.len() - 1);
         let threshold = magnitudes[idx];
         let pruned = magnitudes.iter().filter(|&&m| m <= threshold).count();
-        Self { threshold, compression: pruned as f64 / magnitudes.len() as f64 }
+        Self {
+            threshold,
+            compression: pruned as f64 / magnitudes.len() as f64,
+        }
     }
 
     /// The magnitude threshold.
@@ -151,8 +157,10 @@ impl ZeroPruning {
                         format!("SpMV(U_csr,h) l{l} t{t}"),
                         KernelKind::Sgemv,
                     )
-                    .flops((2.0 * 4.0 * (hidden as f64) * (hidden as f64)
-                        * (1.0 - self.compression)) as u64)
+                    .flops(
+                        (2.0 * 4.0 * (hidden as f64) * (hidden as f64) * (1.0 - self.compression))
+                            as u64,
+                    )
                     .read(regions.layers[l].u_full, csr)
                     .read(alloc.fresh(), hidden as u64 * F32)
                     .write(alloc.fresh(), 4 * hidden as u64 * F32)
@@ -166,15 +174,29 @@ impl ZeroPruning {
                 h = h2;
                 c = c2;
                 hs.push(h.clone());
-                trace.push(ew_kernel(format!("lstm_ew l{l} t{t}"), hidden, 1, &mut alloc));
+                trace.push(ew_kernel(
+                    format!("lstm_ew l{l} t{t}"),
+                    hidden,
+                    1,
+                    &mut alloc,
+                ));
             }
             current = hs.clone();
             layers.push(LayerRun { hs, trace });
         }
         let logits = pruned.apply_head(current.last().expect("non-empty"));
-        let tail_trace =
-            vec![head_kernel(regions.head, cfg.num_classes, cfg.hidden_size, &mut alloc)];
-        NetworkRun { layers, logits, tail_trace, regions }
+        let tail_trace = vec![head_kernel(
+            regions.head,
+            cfg.num_classes,
+            cfg.hidden_size,
+            &mut alloc,
+        )];
+        NetworkRun {
+            layers,
+            logits,
+            tail_trace,
+            regions,
+        }
     }
 }
 
@@ -193,7 +215,11 @@ mod tests {
     fn calibration_hits_target_ratio() {
         let net = net();
         let zp = ZeroPruning::calibrate(&net, 0.37);
-        assert!((zp.compression_ratio() - 0.37).abs() < 0.01, "{}", zp.compression_ratio());
+        assert!(
+            (zp.compression_ratio() - 0.37).abs() < 0.01,
+            "{}",
+            zp.compression_ratio()
+        );
         assert!(zp.threshold() > 0.0);
     }
 
@@ -223,7 +249,11 @@ mod tests {
         let xs = lstm::random_inputs(net.config(), &mut rng);
         let exact = net.forward(&xs).logits;
         let approx = pruned.forward(&xs).logits;
-        assert!(exact.sub(&approx).max_abs() < 0.35, "{}", exact.sub(&approx).max_abs());
+        assert!(
+            exact.sub(&approx).max_abs() < 0.35,
+            "{}",
+            exact.sub(&approx).max_abs()
+        );
     }
 
     #[test]
@@ -263,7 +293,13 @@ mod tests {
         let base = dev.run_trace(base_run.trace());
         dev.reset();
         let pruned = dev.run_trace(zp_run.trace());
-        assert!(pruned.time_s > base.time_s, "CSR execution should be slower");
-        assert!(pruned.dram_bytes() < base.dram_bytes(), "but move less data");
+        assert!(
+            pruned.time_s > base.time_s,
+            "CSR execution should be slower"
+        );
+        assert!(
+            pruned.dram_bytes() < base.dram_bytes(),
+            "but move less data"
+        );
     }
 }

@@ -95,7 +95,13 @@ impl RelevanceAnalyzer {
     pub fn layer_relevances(&self, wx: &[GatePreacts]) -> Vec<f64> {
         wx.iter()
             .enumerate()
-            .map(|(t, pre)| if t == 0 { f64::INFINITY } else { self.link_relevance(pre) })
+            .map(|(t, pre)| {
+                if t == 0 {
+                    f64::INFINITY
+                } else {
+                    self.link_relevance(pre)
+                }
+            })
             .collect()
     }
 
@@ -142,10 +148,18 @@ pub fn relevance_flops(hidden: usize) -> u64 {
 /// # Panics
 /// Panics if `relevances` contains no finite values.
 pub fn relevance_spread(relevances: &[f64]) -> (f64, f64, f64) {
-    let mut finite: Vec<f64> = relevances.iter().copied().filter(|r| r.is_finite()).collect();
+    let mut finite: Vec<f64> = relevances
+        .iter()
+        .copied()
+        .filter(|r| r.is_finite())
+        .collect();
     assert!(!finite.is_empty(), "relevance_spread: no finite relevances");
     finite.sort_by(f64::total_cmp);
-    (finite[0], finite[finite.len() / 2], finite[finite.len() - 1])
+    (
+        finite[0],
+        finite[finite.len() / 2],
+        finite[finite.len() - 1],
+    )
 }
 
 #[cfg(test)]
@@ -159,8 +173,18 @@ mod tests {
         let u = Matrix::from_fn(hidden, hidden, |_, _| d / hidden as f32);
         let w = Matrix::zeros(hidden, 2);
         CellWeights::from_parts(
-            GateMatrices { f: w.clone(), i: w.clone(), c: w.clone(), o: w },
-            GateMatrices { f: u.clone(), i: u.clone(), c: u.clone(), o: u },
+            GateMatrices {
+                f: w.clone(),
+                i: w.clone(),
+                c: w.clone(),
+                o: w,
+            },
+            GateMatrices {
+                f: u.clone(),
+                i: u.clone(),
+                c: u.clone(),
+                o: u,
+            },
             GV::zeros(hidden),
         )
     }
@@ -291,7 +315,10 @@ mod tests {
         // Just at the boundary with D = 1: full depth 1.
         assert_eq!(gate_sensitivity(2.0, 0.0, 1.0), 1.0);
         // Symmetric in the center's sign.
-        assert_eq!(gate_sensitivity(-3.0, 0.0, 2.0), gate_sensitivity(3.0, 0.0, 2.0));
+        assert_eq!(
+            gate_sensitivity(-3.0, 0.0, 2.0),
+            gate_sensitivity(3.0, 0.0, 2.0)
+        );
     }
 
     #[test]

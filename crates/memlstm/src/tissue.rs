@@ -30,7 +30,11 @@ pub fn form_tissues(sublayers: &[SubLayer]) -> Vec<Tissue> {
     let depth = sublayers.iter().map(|s| s.len).max().unwrap_or(0);
     (0..depth)
         .map(|k| Tissue {
-            cells: sublayers.iter().filter(|s| k < s.len).map(|s| s.cell(k)).collect(),
+            cells: sublayers
+                .iter()
+                .filter(|s| k < s.len)
+                .map(|s| s.cell(k))
+                .collect(),
         })
         .collect()
 }
@@ -206,7 +210,10 @@ mod tests {
         // index-order alignment cascades to 5 tissues; longest-first
         // achieves the lower bound of 4.
         let subs = divide(6, &[1, 2]);
-        assert_eq!(subs.iter().map(|s| s.len).collect::<Vec<_>>(), vec![1, 1, 4]);
+        assert_eq!(
+            subs.iter().map(|s| s.len).collect::<Vec<_>>(),
+            vec![1, 1, 4]
+        );
         let faithful = schedule_tissues(&subs, 2);
         let balanced = schedule_tissues_balanced(&subs, 2);
         assert_eq!(faithful.len(), 5);
@@ -245,11 +252,20 @@ mod tests {
         let bad = vec![Tissue { cells: vec![1, 2] }, Tissue { cells: vec![0, 3] }];
         assert!(validate_schedule(&subs, &bad, None).is_err());
         // Duplicate cell.
-        let dup = vec![Tissue { cells: vec![0, 2] }, Tissue { cells: vec![0, 1, 3] }];
-        assert!(validate_schedule(&subs, &dup, None).unwrap_err().contains("twice"));
+        let dup = vec![
+            Tissue { cells: vec![0, 2] },
+            Tissue {
+                cells: vec![0, 1, 3],
+            },
+        ];
+        assert!(validate_schedule(&subs, &dup, None)
+            .unwrap_err()
+            .contains("twice"));
         // Oversized tissue.
         let fat = vec![Tissue { cells: vec![0, 2] }, Tissue { cells: vec![1, 3] }];
-        assert!(validate_schedule(&subs, &fat, Some(1)).unwrap_err().contains("MTS"));
+        assert!(validate_schedule(&subs, &fat, Some(1))
+            .unwrap_err()
+            .contains("MTS"));
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl UoTuner {
     /// Panics if `num_sets == 0`.
     pub fn new(num_sets: usize, start: usize) -> Self {
         assert!(num_sets > 0, "UoTuner: need at least one set");
-        Self { num_sets, current: start.min(num_sets - 1), scores: vec![(0.0, 0); num_sets] }
+        Self {
+            num_sets,
+            current: start.min(num_sets - 1),
+            scores: vec![(0.0, 0); num_sets],
+        }
     }
 
     /// The set the next replay should use.

@@ -78,8 +78,8 @@ impl Participant {
 
     /// Satisfaction with personal noise, still clamped to `[1, 5]`.
     pub fn rate(&self, speedup: f64, loss: f64, rng: &mut impl Rng) -> f64 {
-        let noisy = self.satisfaction(speedup, loss)
-            + f64::from(normal(rng, 0.0, self.noise_std as f32));
+        let noisy =
+            self.satisfaction(speedup, loss) + f64::from(normal(rng, 0.0, self.noise_std as f32));
         noisy.clamp(1.0, 5.0)
     }
 }
@@ -166,7 +166,11 @@ impl UserStudy {
         }
         let denom = (self.participants.len() * self.replays_per_scheme) as f64;
         StudyResult {
-            mean_scores: Scheme::ALL.iter().zip(totals).map(|(s, t)| (*s, t / denom)).collect(),
+            mean_scores: Scheme::ALL
+                .iter()
+                .zip(totals)
+                .map(|(s, t)| (*s, t / denom))
+                .collect(),
         }
     }
 }
@@ -179,7 +183,11 @@ mod tests {
 
     fn point(index: usize, speedup: f64, accuracy: f64) -> TradeoffPoint {
         TradeoffPoint {
-            set: ThresholdSet { index, alpha_inter: 0.0, alpha_intra: 0.0 },
+            set: ThresholdSet {
+                index,
+                alpha_inter: 0.0,
+                alpha_intra: 0.0,
+            },
             speedup,
             accuracy,
             energy_saving: 0.0,
@@ -202,13 +210,21 @@ mod tests {
 
     #[test]
     fn baseline_replay_scores_neutral() {
-        let u = Participant { speed_affinity: 1.0, accuracy_sensitivity: 0.5, noise_std: 0.0 };
+        let u = Participant {
+            speed_affinity: 1.0,
+            accuracy_sensitivity: 0.5,
+            noise_std: 0.0,
+        };
         assert_eq!(u.satisfaction(1.0, 0.0), 3.0);
     }
 
     #[test]
     fn imperceptible_loss_not_punished() {
-        let u = Participant { speed_affinity: 1.0, accuracy_sensitivity: 1.0, noise_std: 0.0 };
+        let u = Participant {
+            speed_affinity: 1.0,
+            accuracy_sensitivity: 1.0,
+            noise_std: 0.0,
+        };
         assert_eq!(u.satisfaction(2.0, 0.019), u.satisfaction(2.0, 0.0));
         assert!(u.satisfaction(2.0, 0.10) < u.satisfaction(2.0, 0.0));
     }
@@ -242,7 +258,11 @@ mod tests {
     fn population_is_heterogeneous() {
         let mut rng = seeded_rng(7);
         let study = UserStudy::recruit(30, 1, &mut rng);
-        let affinities: Vec<f64> = study.participants().iter().map(|p| p.speed_affinity).collect();
+        let affinities: Vec<f64> = study
+            .participants()
+            .iter()
+            .map(|p| p.speed_affinity)
+            .collect();
         let min = affinities.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = affinities.iter().cloned().fold(0.0, f64::max);
         assert!(max - min > 0.3, "population should vary: {min}..{max}");
@@ -250,7 +270,9 @@ mod tests {
 
     #[test]
     fn study_result_lookup_panics_on_missing() {
-        let result = StudyResult { mean_scores: vec![(Scheme::Ao, 4.0)] };
+        let result = StudyResult {
+            mean_scores: vec![(Scheme::Ao, 4.0)],
+        };
         assert_eq!(result.score(Scheme::Ao), 4.0);
         let res = std::panic::catch_unwind(|| result.score(Scheme::Uo));
         assert!(res.is_err());

@@ -9,7 +9,8 @@ use proptest::prelude::*;
 /// A random (seq_len, sorted unique breakpoints) pair.
 fn division_inputs() -> impl Strategy<Value = (usize, Vec<usize>)> {
     (2usize..60).prop_flat_map(|n| {
-        let bps = proptest::collection::btree_set(1..n, 0..n.min(12)).prop_map(|s| s.into_iter().collect());
+        let bps = proptest::collection::btree_set(1..n, 0..n.min(12))
+            .prop_map(|s| s.into_iter().collect());
         (Just(n), bps)
     })
 }

@@ -23,7 +23,11 @@ impl ShapeError {
     /// Creates a shape error for operation `op` with the expected and
     /// actual `(rows, cols)` dimensions.
     pub fn new(op: &'static str, expected: (usize, usize), actual: (usize, usize)) -> Self {
-        Self { op, expected, actual }
+        Self {
+            op,
+            expected,
+            actual,
+        }
     }
 
     /// The operation that failed.

@@ -13,7 +13,13 @@ use crate::vector::Vector;
 /// # Panics
 /// Panics if `x.len() != a.cols()`.
 pub fn sgemv(a: &Matrix, x: &Vector) -> Vector {
-    assert_eq!(x.len(), a.cols(), "sgemv: x length {} != cols {}", x.len(), a.cols());
+    assert_eq!(
+        x.len(),
+        a.cols(),
+        "sgemv: x length {} != cols {}",
+        x.len(),
+        a.cols()
+    );
     Vector::from_fn(a.rows(), |r| dot_row(a.row(r), x.as_slice()))
 }
 
@@ -77,8 +83,8 @@ pub fn sgemm_masked(a: &Matrix, b: &Matrix, active: &[bool], skipped_value: f32)
     assert_eq!(b.rows(), a.cols(), "sgemm_masked: inner dimensions differ");
     assert_eq!(active.len(), a.rows(), "sgemm_masked: mask length mismatch");
     let mut out = Matrix::from_fn(a.rows(), b.cols(), |_, _| skipped_value);
-    for r in 0..a.rows() {
-        if !active[r] {
+    for (r, &is_active) in active.iter().enumerate() {
+        if !is_active {
             continue;
         }
         let arow = a.row(r);

@@ -41,12 +41,22 @@ pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) ->
 }
 
 /// Gaussian matrix with the given standard deviation.
-pub fn gaussian_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std_dev: f32) -> Matrix {
+pub fn gaussian_matrix<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    std_dev: f32,
+) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| normal(rng, 0.0, std_dev))
 }
 
 /// Gaussian vector with the given mean and standard deviation.
-pub fn gaussian_vector<R: Rng + ?Sized>(rng: &mut R, len: usize, mean: f32, std_dev: f32) -> Vector {
+pub fn gaussian_vector<R: Rng + ?Sized>(
+    rng: &mut R,
+    len: usize,
+    mean: f32,
+    std_dev: f32,
+) -> Vector {
     Vector::from_fn(len, |_| normal(rng, mean, std_dev))
 }
 
@@ -68,7 +78,11 @@ pub struct RowScaledInit {
 
 impl Default for RowScaledInit {
     fn default() -> Self {
-        Self { base_std: 0.08, light_row_frac: 0.5, light_scale: 0.2 }
+        Self {
+            base_std: 0.08,
+            light_row_frac: 0.5,
+            light_scale: 0.2,
+        }
     }
 }
 
@@ -78,7 +92,11 @@ impl RowScaledInit {
         let mut m = Matrix::zeros(rows, cols);
         for r in 0..rows {
             let light = rng.gen::<f32>() < self.light_row_frac;
-            let scale = if light { self.base_std * self.light_scale } else { self.base_std };
+            let scale = if light {
+                self.base_std * self.light_scale
+            } else {
+                self.base_std
+            };
             for c in 0..cols {
                 m[(r, c)] = normal(rng, 0.0, scale);
             }
@@ -164,7 +182,11 @@ mod tests {
     #[test]
     fn row_scaled_creates_light_and_heavy_rows() {
         let mut rng = seeded_rng(3);
-        let init = RowScaledInit { base_std: 0.1, light_row_frac: 0.5, light_scale: 0.1 };
+        let init = RowScaledInit {
+            base_std: 0.1,
+            light_row_frac: 0.5,
+            light_scale: 0.1,
+        };
         let m = init.sample(&mut rng, 200, 64);
         let sums = m.row_abs_sums();
         let mut sorted: Vec<f32> = sums.as_slice().to_vec();

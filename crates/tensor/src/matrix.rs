@@ -26,7 +26,11 @@ impl Matrix {
     /// assert_eq!(m[(1, 1)], 0.0);
     /// ```
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at each position.
@@ -177,7 +181,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `c >= cols`.
     pub fn column(&self, c: usize) -> Vector {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
         Vector::from_fn(self.rows, |r| self[(r, c)])
     }
 

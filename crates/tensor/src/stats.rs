@@ -21,7 +21,11 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an accumulator for vectors of length `dim`.
     pub fn new(dim: usize) -> Self {
-        Self { count: 0, mean: vec![0.0; dim], m2: vec![0.0; dim] }
+        Self {
+            count: 0,
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+        }
     }
 
     /// Element dimensionality.
@@ -39,7 +43,11 @@ impl RunningStats {
     /// # Panics
     /// Panics if `v.len() != self.dim()`.
     pub fn push(&mut self, v: &Vector) {
-        assert_eq!(v.len(), self.dim(), "RunningStats::push: dimension mismatch");
+        assert_eq!(
+            v.len(),
+            self.dim(),
+            "RunningStats::push: dimension mismatch"
+        );
         self.count += 1;
         for (i, &x) in v.iter().enumerate() {
             let x = f64::from(x);
@@ -69,7 +77,11 @@ impl RunningStats {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn merge(&mut self, other: &RunningStats) {
-        assert_eq!(self.dim(), other.dim(), "RunningStats::merge: dimension mismatch");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "RunningStats::merge: dimension mismatch"
+        );
         if other.count == 0 {
             return;
         }
@@ -106,7 +118,13 @@ impl Histogram {
     pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
         assert!(bins > 0, "Histogram: bins must be positive");
         assert!(lo < hi, "Histogram: empty range");
-        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one observation.
@@ -212,8 +230,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<Vector> =
-            (0..10).map(|i| Vector::from(vec![i as f32, (i * i) as f32])).collect();
+        let data: Vec<Vector> = (0..10)
+            .map(|i| Vector::from(vec![i as f32, (i * i) as f32]))
+            .collect();
         let mut all = RunningStats::new(2);
         for v in &data {
             all.push(v);

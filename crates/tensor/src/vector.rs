@@ -22,17 +22,23 @@ impl Vector {
     /// assert_eq!(v.as_slice(), &[0.0, 0.0, 0.0]);
     /// ```
     pub fn zeros(len: usize) -> Self {
-        Self { data: vec![0.0; len] }
+        Self {
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a vector filled with `value`.
     pub fn filled(len: usize, value: f32) -> Self {
-        Self { data: vec![value; len] }
+        Self {
+            data: vec![value; len],
+        }
     }
 
     /// Creates a vector by evaluating `f` at each index.
-    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> f32) -> Self {
-        Self { data: (0..len).map(|i| f(i)).collect() }
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> f32) -> Self {
+        Self {
+            data: (0..len).map(f).collect(),
+        }
     }
 
     /// Number of elements.
@@ -122,7 +128,9 @@ impl Vector {
 
     /// Applies `f` to every element, returning a new vector.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Vector {
-        Vector { data: self.data.iter().map(|&x| f(x)).collect() }
+        Vector {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -182,7 +190,9 @@ impl Vector {
     /// # Panics
     /// Panics if the range is out of bounds.
     pub fn slice(&self, start: usize, len: usize) -> Vector {
-        Vector { data: self.data[start..start + len].to_vec() }
+        Vector {
+            data: self.data[start..start + len].to_vec(),
+        }
     }
 }
 
@@ -194,13 +204,17 @@ impl From<Vec<f32>> for Vector {
 
 impl From<&[f32]> for Vector {
     fn from(data: &[f32]) -> Self {
-        Self { data: data.to_vec() }
+        Self {
+            data: data.to_vec(),
+        }
     }
 }
 
 impl FromIterator<f32> for Vector {
     fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
-        Self { data: iter.into_iter().collect() }
+        Self {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 

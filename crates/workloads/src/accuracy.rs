@@ -12,7 +12,11 @@
 /// # Panics
 /// Panics if the slices have different lengths or are empty.
 pub fn teacher_match(teacher: &[usize], approx: &[usize]) -> f64 {
-    assert_eq!(teacher.len(), approx.len(), "teacher_match: length mismatch");
+    assert_eq!(
+        teacher.len(),
+        approx.len(),
+        "teacher_match: length mismatch"
+    );
     assert!(!teacher.is_empty(), "teacher_match: empty evaluation set");
     let matches = teacher.iter().zip(approx).filter(|(a, b)| a == b).count();
     matches as f64 / teacher.len() as f64
@@ -24,11 +28,19 @@ pub fn teacher_match(teacher: &[usize], approx: &[usize]) -> f64 {
 /// # Panics
 /// Panics if the shapes differ or the total count is zero.
 pub fn teacher_match_nested(teacher: &[Vec<usize>], approx: &[Vec<usize>]) -> f64 {
-    assert_eq!(teacher.len(), approx.len(), "teacher_match_nested: sequence count mismatch");
+    assert_eq!(
+        teacher.len(),
+        approx.len(),
+        "teacher_match_nested: sequence count mismatch"
+    );
     let mut matches = 0usize;
     let mut total = 0usize;
     for (t_seq, a_seq) in teacher.iter().zip(approx) {
-        assert_eq!(t_seq.len(), a_seq.len(), "teacher_match_nested: sequence length mismatch");
+        assert_eq!(
+            t_seq.len(),
+            a_seq.len(),
+            "teacher_match_nested: sequence length mismatch"
+        );
         total += t_seq.len();
         matches += t_seq.iter().zip(a_seq).filter(|(a, b)| a == b).count();
     }
@@ -52,7 +64,10 @@ impl AccuracyReport {
     /// # Panics
     /// Panics if the slices mismatch or are empty.
     pub fn from_predictions(teacher: &[usize], approx: &[usize]) -> Self {
-        Self { accuracy: teacher_match(teacher, approx), count: teacher.len() }
+        Self {
+            accuracy: teacher_match(teacher, approx),
+            count: teacher.len(),
+        }
     }
 
     /// Accuracy *loss* relative to the exact model, in `[0, 1]`.
@@ -131,7 +146,10 @@ mod tests {
 
     #[test]
     fn display_formats_percentage() {
-        let r = AccuracyReport { accuracy: 0.985, count: 40 };
+        let r = AccuracyReport {
+            accuracy: 0.985,
+            count: 40,
+        };
         assert_eq!(r.to_string(), "98.50% (40 inputs)");
     }
 }

@@ -22,13 +22,19 @@ impl Dataset {
     /// `benchmark`, deterministically from `seed`.
     pub fn generate(benchmark: Benchmark, offline_n: usize, eval_n: usize, seed: u64) -> Self {
         let cfg = benchmark.model_config();
-        let mut rng = seeded_rng(seed ^ 0xD5EA_5E7);
+        let mut rng = seeded_rng(seed ^ 0x0D5E_A5E7);
         let mut sample = |n: usize| -> Vec<Vec<Vector>> {
-            (0..n).map(|_| sample_sequence(cfg.seq_len, cfg.input_dim, &mut rng)).collect()
+            (0..n)
+                .map(|_| sample_sequence(cfg.seq_len, cfg.input_dim, &mut rng))
+                .collect()
         };
         let offline = sample(offline_n);
         let eval = sample(eval_n);
-        Self { benchmark, offline, eval }
+        Self {
+            benchmark,
+            offline,
+            eval,
+        }
     }
 
     /// Builds a dataset from explicit splits (used by the capacity sweeps
@@ -38,7 +44,11 @@ impl Dataset {
         offline: Vec<Vec<Vector>>,
         eval: Vec<Vec<Vector>>,
     ) -> Self {
-        Self { benchmark, offline, eval }
+        Self {
+            benchmark,
+            offline,
+            eval,
+        }
     }
 
     /// The benchmark this dataset belongs to.
@@ -137,7 +147,10 @@ mod tests {
         let mut rng = seeded_rng(31);
         let seq = sample_sequence(200, 16, &mut rng);
         let boundaries = seq.iter().filter(|x| x[0] > 2.5).count();
-        assert!((20..=55).contains(&boundaries), "boundary count {boundaries}");
+        assert!(
+            (20..=55).contains(&boundaries),
+            "boundary count {boundaries}"
+        );
     }
 
     #[test]
@@ -147,6 +160,9 @@ mod tests {
         let norms: Vec<f32> = seq.iter().map(|x| x.norm()).collect();
         let max = norms.iter().cloned().fold(0.0f32, f32::max);
         let min = norms.iter().cloned().fold(f32::INFINITY, f32::min);
-        assert!(max > 2.5 * min, "token magnitudes too uniform: {min}..{max}");
+        assert!(
+            max > 2.5 * min,
+            "token magnitudes too uniform: {min}..{max}"
+        );
     }
 }

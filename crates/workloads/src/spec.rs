@@ -70,8 +70,14 @@ pub struct BenchmarkSpec {
 
 impl Benchmark {
     /// All six benchmarks in Table II order.
-    pub const ALL: [Benchmark; 6] =
-        [Benchmark::Imdb, Benchmark::Mr, Benchmark::Babi, Benchmark::Snli, Benchmark::Ptb, Benchmark::Mt];
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Imdb,
+        Benchmark::Mr,
+        Benchmark::Babi,
+        Benchmark::Snli,
+        Benchmark::Ptb,
+        Benchmark::Mt,
+    ];
 
     /// The Table II row for this benchmark.
     pub fn spec(self) -> BenchmarkSpec {
@@ -137,8 +143,15 @@ impl Benchmark {
     /// layer directly).
     pub fn model_config(self) -> ModelConfig {
         let s = self.spec();
-        ModelConfig::new(s.name, s.hidden_size, s.hidden_size, s.num_layers, s.seq_len, s.num_classes)
-            .expect("Table II rows are valid")
+        ModelConfig::new(
+            s.name,
+            s.hidden_size,
+            s.hidden_size,
+            s.num_layers,
+            s.seq_len,
+            s.num_classes,
+        )
+        .expect("Table II rows are valid")
     }
 }
 
@@ -158,7 +171,13 @@ mod tests {
             .iter()
             .map(|b| {
                 let s = b.spec();
-                (s.name, s.task.abbr(), s.hidden_size, s.num_layers, s.seq_len)
+                (
+                    s.name,
+                    s.task.abbr(),
+                    s.hidden_size,
+                    s.num_layers,
+                    s.seq_len,
+                )
             })
             .collect();
         assert_eq!(

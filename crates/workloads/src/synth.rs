@@ -41,11 +41,21 @@ impl SynthParams {
             _ => 0.55,
         };
         let cell_init = CellInit {
-            recurrent: RowScaledInit { base_std: 0.012, light_row_frac, light_scale: 0.15 },
-            output_bias: GateBiasInit { saturated_frac, ..GateBiasInit::default() },
+            recurrent: RowScaledInit {
+                base_std: 0.012,
+                light_row_frac,
+                light_scale: 0.15,
+            },
+            output_bias: GateBiasInit {
+                saturated_frac,
+                ..GateBiasInit::default()
+            },
             ..CellInit::default()
         };
-        Self { cell_init, seed: 0x5EED_0000 + benchmark as u64 }
+        Self {
+            cell_init,
+            seed: 0x5EED_0000 + benchmark as u64,
+        }
     }
 }
 
@@ -64,7 +74,12 @@ impl Workload {
     /// Generates the workload for `benchmark` with `eval_n` evaluation
     /// sequences, deterministically from `seed`.
     pub fn generate(benchmark: Benchmark, eval_n: usize, seed: u64) -> Self {
-        Self::generate_with(benchmark, &SynthParams::for_benchmark(benchmark), eval_n, seed)
+        Self::generate_with(
+            benchmark,
+            &SynthParams::for_benchmark(benchmark),
+            eval_n,
+            seed,
+        )
     }
 
     /// Generates with explicit synthesis parameters.
@@ -80,7 +95,12 @@ impl Workload {
         let offline_n = 8.max(eval_n / 2);
         let dataset = Dataset::generate(benchmark, offline_n, eval_n, seed);
         let teacher = teacher_predictions(&network, dataset.eval());
-        Self { benchmark, network, dataset, teacher }
+        Self {
+            benchmark,
+            network,
+            dataset,
+            teacher,
+        }
     }
 
     /// Generates a workload for an arbitrary model configuration (used by
@@ -95,17 +115,24 @@ impl Workload {
         let params = SynthParams::for_benchmark(benchmark);
         let mut rng = seeded_rng(params.seed ^ seed);
         let network = LstmNetwork::random_with(config, &params.cell_init, &mut rng);
-        let mut data_rng = seeded_rng(seed ^ 0xD5EA_5E7);
+        let mut data_rng = seeded_rng(seed ^ 0x0D5E_A5E7);
         let mut sample = |n: usize| -> Vec<Vec<Vector>> {
             (0..n)
-                .map(|_| crate::dataset::sample_sequence(config.seq_len, config.input_dim, &mut data_rng))
+                .map(|_| {
+                    crate::dataset::sample_sequence(config.seq_len, config.input_dim, &mut data_rng)
+                })
                 .collect()
         };
         let offline = sample(8.max(eval_n / 2));
         let eval = sample(eval_n);
         let dataset = Dataset::from_parts(benchmark, offline, eval);
         let teacher = teacher_predictions(&network, dataset.eval());
-        Self { benchmark, network, dataset, teacher }
+        Self {
+            benchmark,
+            network,
+            dataset,
+            teacher,
+        }
     }
 
     /// The benchmark identity.
@@ -141,7 +168,10 @@ impl Workload {
 
     /// The exact model's final predictions per sequence.
     pub fn teacher_final_labels(&self) -> Vec<usize> {
-        self.teacher.iter().map(|seq| *seq.last().expect("non-empty sequence")).collect()
+        self.teacher
+            .iter()
+            .map(|seq| *seq.last().expect("non-empty sequence"))
+            .collect()
     }
 }
 
@@ -186,12 +216,17 @@ mod tests {
     fn per_benchmark_params_differ() {
         let imdb = SynthParams::for_benchmark(Benchmark::Imdb);
         let mt = SynthParams::for_benchmark(Benchmark::Mt);
-        assert!(imdb.cell_init.output_bias.saturated_frac > mt.cell_init.output_bias.saturated_frac);
+        assert!(
+            imdb.cell_init.output_bias.saturated_frac > mt.cell_init.output_bias.saturated_frac
+        );
     }
 
     #[test]
     fn scaled_workload_respects_config() {
-        let cfg = Benchmark::Babi.model_config().with_hidden_size(64).with_seq_len(12);
+        let cfg = Benchmark::Babi
+            .model_config()
+            .with_hidden_size(64)
+            .with_seq_len(12);
         let wl = Workload::generate_scaled(Benchmark::Babi, &cfg, 2, 3);
         assert_eq!(wl.network().config().hidden_size, 64);
         assert_eq!(wl.eval_set()[0].len(), 12);

@@ -23,7 +23,10 @@ fn main() {
         report(&config, hidden);
     }
 
-    println!("\n-- sequence-length sweep (hidden {}) --", base.hidden_size);
+    println!(
+        "\n-- sequence-length sweep (hidden {}) --",
+        base.hidden_size
+    );
     println!("length  MTS  speedup@<=2% loss  accuracy");
     for len in [22usize, 43, 86, 129] {
         let config = base.with_seq_len(len);

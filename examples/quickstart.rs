@@ -39,7 +39,10 @@ fn main() {
     let config = OptimizerConfig::combined(
         1.0, // relevance threshold (per-unit)
         mts,
-        DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware },
+        DrsConfig {
+            alpha_intra: 0.05,
+            mode: DrsMode::Hardware,
+        },
     );
     let optimized = OptimizedExecutor::new(net, &predictors, config).run(xs);
     device.reset();

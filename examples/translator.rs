@@ -26,12 +26,21 @@ fn main() {
 
     let alpha_inter = 0.8;
     let alpha_intra = 0.06;
-    let drs = DrsConfig { alpha_intra, mode: DrsMode::Hardware };
+    let drs = DrsConfig {
+        alpha_intra,
+        mode: DrsMode::Hardware,
+    };
     let schemes: Vec<(&str, Option<OptimizerConfig>)> = vec![
         ("baseline", None),
-        ("inter-cell", Some(OptimizerConfig::inter_only(alpha_inter, mts))),
+        (
+            "inter-cell",
+            Some(OptimizerConfig::inter_only(alpha_inter, mts)),
+        ),
         ("intra-cell", Some(OptimizerConfig::intra_only(drs))),
-        ("combined", Some(OptimizerConfig::combined(alpha_inter, mts, drs))),
+        (
+            "combined",
+            Some(OptimizerConfig::combined(alpha_inter, mts, drs)),
+        ),
     ];
 
     let mut device = GpuDevice::new(gpu);

@@ -12,11 +12,11 @@
 
 use gpu_sim::{GpuConfig, GpuDevice};
 use lstm::BaselineExecutor;
+use memlstm::exec::OptimizedExecutor;
 use memlstm::prediction::NetworkPredictors;
 use memlstm::thresholds::{threshold_sets, Evaluator};
 use memlstm::tuner::UoTuner;
 use memlstm::user_study::Participant;
-use memlstm::exec::OptimizedExecutor;
 use tensor::init::seeded_rng;
 use workloads::{Benchmark, Workload};
 
@@ -30,9 +30,15 @@ fn main() {
     // Offline phase (shipped with the app): MTS, link predictors, and the
     // threshold-set table.
     let evaluator = Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(1, 2);
-    let sets = threshold_sets(evaluator.upper_alpha_inter(), evaluator.upper_alpha_intra(), 11);
-    let predictors =
-        NetworkPredictors::collect(evaluator.workload().network(), evaluator.workload().dataset().offline());
+    let sets = threshold_sets(
+        evaluator.upper_alpha_inter(),
+        evaluator.upper_alpha_intra(),
+        11,
+    );
+    let predictors = NetworkPredictors::collect(
+        evaluator.workload().network(),
+        evaluator.workload().dataset().offline(),
+    );
 
     // Baseline latency for reference.
     let net = evaluator.workload().network();

@@ -7,7 +7,10 @@ use memlstm::thresholds::{select_ao, select_bpa, Evaluator};
 use workloads::{Benchmark, Workload};
 
 fn small_evaluator() -> Evaluator {
-    let config = Benchmark::Babi.model_config().with_hidden_size(96).with_seq_len(24);
+    let config = Benchmark::Babi
+        .model_config()
+        .with_hidden_size(96)
+        .with_seq_len(24);
     let workload = Workload::generate_scaled(Benchmark::Babi, &config, 4, 9);
     Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(1, 4)
 }
@@ -28,7 +31,11 @@ fn sweep_spans_baseline_to_aggressive() {
     assert_eq!(points.len(), 6);
     // Set 0 is the exact baseline.
     assert!((points[0].accuracy - 1.0).abs() < 1e-12);
-    assert!((points[0].speedup - 1.0).abs() < 0.2, "set-0 speedup {}", points[0].speedup);
+    assert!(
+        (points[0].speedup - 1.0).abs() < 0.2,
+        "set-0 speedup {}",
+        points[0].speedup
+    );
     // The aggressive end is strictly faster than the baseline end.
     assert!(points[5].speedup > points[0].speedup * 1.2);
     // Accuracy never exceeds the exact baseline.
@@ -55,7 +62,11 @@ fn energy_saving_tracks_speedup() {
     // The paper: energy saving is roughly proportional to the performance
     // boost. Check the aggressive end saves energy.
     let fast = &points[5];
-    assert!(fast.energy_saving > 0.0, "no energy saving at {}x", fast.speedup);
+    assert!(
+        fast.energy_saving > 0.0,
+        "no energy saving at {}x",
+        fast.speedup
+    );
     // And the exact baseline set saves ~nothing (only overheads).
     assert!(points[0].energy_saving.abs() < 0.1);
 }

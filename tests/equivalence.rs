@@ -15,8 +15,9 @@ fn setup() -> (LstmNetwork, Vec<Vector>, NetworkPredictors) {
     let mut rng = seeded_rng(77);
     let net = LstmNetwork::random(&config, &mut rng);
     let xs = lstm::random_inputs(&config, &mut rng);
-    let offline: Vec<Vec<Vector>> =
-        (0..4).map(|_| lstm::random_inputs(&config, &mut rng)).collect();
+    let offline: Vec<Vec<Vector>> = (0..4)
+        .map(|_| lstm::random_inputs(&config, &mut rng))
+        .collect();
     let predictors = NetworkPredictors::collect(&net, &offline);
     (net, xs, predictors)
 }
@@ -51,8 +52,18 @@ fn every_trace_reads_weights_from_declared_regions() {
     let (net, xs, predictors) = setup();
     let configs = vec![
         OptimizerConfig::inter_only(2.0, 4),
-        OptimizerConfig::intra_only(DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware }),
-        OptimizerConfig::combined(2.0, 4, DrsConfig { alpha_intra: 0.05, mode: DrsMode::Software }),
+        OptimizerConfig::intra_only(DrsConfig {
+            alpha_intra: 0.05,
+            mode: DrsMode::Hardware,
+        }),
+        OptimizerConfig::combined(
+            2.0,
+            4,
+            DrsConfig {
+                alpha_intra: 0.05,
+                mode: DrsMode::Software,
+            },
+        ),
     ];
     for config in configs {
         let run = OptimizedExecutor::new(&net, &predictors, config).run(&xs);
@@ -66,7 +77,10 @@ fn every_trace_reads_weights_from_declared_regions() {
         for kernel in run.trace() {
             if matches!(kernel.kind, KernelKind::Sgemv | KernelKind::Sgemm) {
                 assert!(
-                    kernel.reads.iter().any(|a| weight_regions.contains(&a.region)),
+                    kernel
+                        .reads
+                        .iter()
+                        .any(|a| weight_regions.contains(&a.region)),
                     "kernel {} reads no weight region",
                     kernel.label
                 );
@@ -94,13 +108,170 @@ fn optimized_outputs_cover_every_timestep_once() {
 #[test]
 fn determinism_across_runs() {
     let (net, xs, predictors) = setup();
-    let config =
-        OptimizerConfig::combined(2.0, 4, DrsConfig { alpha_intra: 0.08, mode: DrsMode::Hardware });
+    let config = OptimizerConfig::combined(
+        2.0,
+        4,
+        DrsConfig {
+            alpha_intra: 0.08,
+            mode: DrsMode::Hardware,
+        },
+    );
     let exec = OptimizedExecutor::new(&net, &predictors, config);
     let a = exec.run(&xs);
     let b = exec.run(&xs);
     assert_eq!(a.logits, b.logits);
     assert_eq!(a.trace().count(), b.trace().count());
+}
+
+mod plan_properties {
+    //! Property tests for the plan/runtime split: every executor facade is
+    //! required to be a thin wrapper over `ExecutionPlan` + `PlanRuntime`,
+    //! so explicitly compiling a plan and streaming through a runtime must
+    //! reproduce the facade bit-for-bit — numerics, kernel stream, and
+    //! priced time/energy alike — for all four LSTM flows and both GRU
+    //! variants.
+
+    use super::*;
+    use gpu_sim::{GpuConfig, GpuDevice, KernelDesc};
+    use lstm::{ExecutionPlan, GruBaselineExecutor, GruNetwork, PlanRuntime};
+    use memlstm::GruDrsExecutor;
+    use proptest::prelude::*;
+
+    fn small_setup(seed: u64) -> (LstmNetwork, Vec<Vector>, NetworkPredictors) {
+        let config = ModelConfig::new("eqp", 16, 32, 2, 8, 3).unwrap();
+        let mut rng = seeded_rng(seed);
+        let net = LstmNetwork::random(&config, &mut rng);
+        let xs = lstm::random_inputs(&config, &mut rng);
+        let offline: Vec<Vec<Vector>> = (0..3)
+            .map(|_| lstm::random_inputs(&config, &mut rng))
+            .collect();
+        let predictors = NetworkPredictors::collect(&net, &offline);
+        (net, xs, predictors)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// For each of the inter / intra / combined flows: the facade's
+        /// run must equal an explicit compile + execute, and a streamed
+        /// incremental pricing of a second execution on the *same* runtime
+        /// must equal batch-pricing the facade's trace (proving both the
+        /// sink path and the runtime's statelessness across runs).
+        #[test]
+        fn facade_flows_equal_explicit_plan_execution(
+            seed in 0u64..16,
+            alpha_inter in 0.0f64..40.0,
+            alpha_intra in 0.005f32..0.4,
+            mts in 1usize..7,
+            mode_hw in any::<bool>(),
+        ) {
+            let (net, xs, predictors) = small_setup(seed);
+            let mode = if mode_hw { DrsMode::Hardware } else { DrsMode::Software };
+            let drs = DrsConfig { alpha_intra, mode };
+            for config in [
+                OptimizerConfig::inter_only(alpha_inter, mts),
+                OptimizerConfig::intra_only(drs),
+                OptimizerConfig::combined(alpha_inter, mts, drs),
+            ] {
+                let exec = OptimizedExecutor::new(&net, &predictors, config);
+                let (run, stats) = exec.run_detailed(&xs);
+
+                let plan = exec.plan(&xs);
+                let mut runtime = PlanRuntime::new();
+                let mut trace: Vec<KernelDesc> = Vec::new();
+                let out = runtime.run_lstm(&plan, &net, &xs, &mut trace);
+                prop_assert_eq!(&out.logits, &run.logits, "numerics diverged: {:?}", config);
+                prop_assert_eq!(
+                    &trace,
+                    &run.trace().cloned().collect::<Vec<_>>(),
+                    "kernel stream diverged: {:?}",
+                    config
+                );
+                prop_assert_eq!(
+                    memlstm::exec::OptRunStats::from_plan_run(&plan, &out),
+                    stats,
+                    "stats diverged: {:?}",
+                    config
+                );
+
+                // Priced equality: stream kernels into the device as the
+                // runtime emits them vs. batch-pricing the facade's trace.
+                let mut batch_dev = GpuDevice::new(GpuConfig::tegra_x1());
+                let batch = batch_dev.run_trace(run.trace());
+                let mut stream_dev = GpuDevice::new(GpuConfig::tegra_x1());
+                let mut session = stream_dev.begin_trace();
+                let out2 = runtime.run_lstm(&plan, &net, &xs, &mut session);
+                prop_assert_eq!(session.finish(), batch, "pricing diverged: {:?}", config);
+                prop_assert_eq!(out2.logits, out.logits, "runtime is not stateless");
+            }
+        }
+
+        /// Probe-independent plans (baseline and intra-only DRS) may be
+        /// compiled once and reused across many inputs: each execution
+        /// must match a fresh facade run on that input.
+        #[test]
+        fn plan_reuse_across_inputs_matches_per_input_facades(
+            seed in 0u64..16,
+            alpha_intra in 0.005f32..0.4,
+            mode_hw in any::<bool>(),
+        ) {
+            let (net, xs, predictors) = small_setup(seed);
+            let mode = if mode_hw { DrsMode::Hardware } else { DrsMode::Software };
+            let config = OptimizerConfig::intra_only(DrsConfig { alpha_intra, mode });
+            let exec = OptimizedExecutor::new(&net, &predictors, config);
+            let plan = exec.plan(&xs);
+            let base_plan = ExecutionPlan::compile_baseline(&net, xs.len());
+            let mut runtime = PlanRuntime::new();
+            let mut rng = seeded_rng(seed.wrapping_add(1000));
+            for _ in 0..3 {
+                let input = lstm::random_inputs(net.config(), &mut rng);
+                let mut trace: Vec<KernelDesc> = Vec::new();
+                let out = runtime.run_lstm(&plan, &net, &input, &mut trace);
+                let (run, _) = exec.run_detailed(&input);
+                prop_assert_eq!(&out.logits, &run.logits);
+                prop_assert_eq!(trace, run.trace().cloned().collect::<Vec<_>>());
+
+                let base_out =
+                    runtime.run_lstm(&base_plan, &net, &input, &mut lstm::plan::NullSink);
+                let base_run = BaselineExecutor::new(&net).run(&input);
+                prop_assert_eq!(base_out.logits, base_run.logits);
+            }
+        }
+
+        /// The GRU variants go through the same plan pipeline: the baseline
+        /// GRU facade and the DRS GRU facade must both equal an explicit
+        /// compile + execute, trace included.
+        #[test]
+        fn gru_facades_equal_explicit_plan_execution(
+            seed in 0u64..16,
+            alpha_intra in 0.005f32..0.3,
+            mode_hw in any::<bool>(),
+        ) {
+            let mut rng = seeded_rng(seed);
+            let net = GruNetwork::random(12, 40, 2, 3, &mut rng);
+            use rand::Rng;
+            let xs: Vec<Vector> =
+                (0..6).map(|_| Vector::from_fn(12, |_| rng.gen_range(-1.0f32..1.0))).collect();
+
+            let base_run = GruBaselineExecutor::new(&net).run(&xs);
+            let base_plan = ExecutionPlan::compile_gru_baseline(&net, xs.len());
+            let mut runtime = PlanRuntime::new();
+            let mut trace: Vec<KernelDesc> = Vec::new();
+            let out = runtime.run_gru(&base_plan, &net, &xs, &mut trace);
+            prop_assert_eq!(&out.logits, &base_run.logits);
+            prop_assert_eq!(trace, base_run.trace().cloned().collect::<Vec<_>>());
+
+            let mode = if mode_hw { DrsMode::Hardware } else { DrsMode::Software };
+            let exec = GruDrsExecutor::new(&net, DrsConfig { alpha_intra, mode });
+            let (drs_run, skip) = exec.run(&xs);
+            let plan = exec.plan(xs.len());
+            let mut drs_trace: Vec<KernelDesc> = Vec::new();
+            let drs_out = runtime.run_gru(&plan, &net, &xs, &mut drs_trace);
+            prop_assert_eq!(&drs_out.logits, &drs_run.logits);
+            prop_assert_eq!(drs_out.mean_skip_fraction(), skip);
+            prop_assert_eq!(drs_trace, drs_run.trace().cloned().collect::<Vec<_>>());
+        }
+    }
 }
 
 #[test]

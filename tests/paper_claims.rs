@@ -72,7 +72,10 @@ fn fig14_combined_beats_baseline_with_small_loss() {
     let config = OptimizerConfig::combined(
         1.0,
         5,
-        DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware },
+        DrsConfig {
+            alpha_intra: 0.05,
+            mode: DrsMode::Hardware,
+        },
     );
     let exec = OptimizedExecutor::new(net, &predictors, config);
     let mut device = GpuDevice::new(GpuConfig::tegra_x1());
@@ -109,8 +112,10 @@ fn fig16_scheme_ordering_holds() {
     let base = device.run_trace(BaselineExecutor::new(net).run(xs).trace());
 
     let mut time_of = |mode: DrsMode| {
-        let config =
-            OptimizerConfig::intra_only(DrsConfig { alpha_intra: 0.06, mode });
+        let config = OptimizerConfig::intra_only(DrsConfig {
+            alpha_intra: 0.06,
+            mode,
+        });
         let run = OptimizedExecutor::new(net, &predictors, config).run(xs);
         device.reset();
         device.run_trace(run.trace()).time_s
@@ -126,8 +131,14 @@ fn fig16_scheme_ordering_holds() {
     assert!(hw < sw, "hardware DRS ({hw}) must beat software DRS ({sw})");
     // Software DRS hovers around the baseline (the paper measures 1.07x on
     // average; on the smallest benchmark it can dip slightly below 1).
-    assert!(sw < base.time_s * 1.1, "software DRS far slower than baseline");
-    assert!(zp_time > base.time_s, "zero-pruning must be slower than the baseline");
+    assert!(
+        sw < base.time_s * 1.1,
+        "software DRS far slower than baseline"
+    );
+    assert!(
+        zp_time > base.time_s,
+        "zero-pruning must be slower than the baseline"
+    );
 }
 
 #[test]
@@ -139,7 +150,10 @@ fn overheads_stay_in_the_few_percent_band() {
     let config = OptimizerConfig::combined(
         1.0,
         5,
-        DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware },
+        DrsConfig {
+            alpha_intra: 0.05,
+            mode: DrsMode::Hardware,
+        },
     );
     let run = OptimizedExecutor::new(net, &predictors, config).run(&workload.eval_set()[0]);
     let gpu = GpuConfig::tegra_x1();
@@ -148,5 +162,9 @@ fn overheads_stay_in_the_few_percent_band() {
     let crm = memlstm::overhead::crm_overhead(&run, &gpu);
     assert!(inter.perf_frac < 0.10, "inter overhead {:?}", inter);
     assert!(intra.perf_frac < 0.15, "intra overhead {:?}", intra);
-    assert!(crm.perf_frac < 0.05 && crm.energy_frac < 0.01, "crm overhead {:?}", crm);
+    assert!(
+        crm.perf_frac < 0.05 && crm.energy_frac < 0.01,
+        "crm overhead {:?}",
+        crm
+    );
 }

@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the subset of the criterion 0.5 API its benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Like upstream, a bench binary runs in *test mode* (one iteration per
+//! bench, no measurement) unless `--bench` is on the command line — which is
+//! exactly how `cargo test` vs `cargo bench` invoke `harness = false`
+//! targets. In bench mode each benchmark is warmed up and sampled with
+//! `std::time::Instant`, and the median ns/iter is printed. No plots, no
+//! statistics beyond the median, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use core::hint::black_box;
+
+/// Identifier for a parameterised benchmark, rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark name: `&str`, `String`, [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    /// Median duration of one iteration, filled by [`iter`](Self::iter).
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the median time per call.
+    /// In test mode the routine runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // Warm up for ~20ms to size the measurement batches.
+        let warmup = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Aim for ~10ms per sample, bounded so long routines still finish.
+        let batch = ((0.01 / per_iter).ceil() as u64).clamp(1, 1_000_000);
+        let samples = self.sample_size.clamp(3, 100);
+        let mut per_iter_ns: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                t.elapsed().as_secs_f64() * 1e9 / batch as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        self.result_ns = Some(per_iter_ns[per_iter_ns.len() / 2]);
+    }
+}
+
+fn run_bench(id: &str, measure: bool, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        measure,
+        sample_size,
+        result_ns: None,
+    };
+    f(&mut b);
+    if measure {
+        match b.result_ns {
+            Some(ns) => println!("{id:<50} time: [{ns:>12.1} ns/iter]"),
+            None => println!("{id:<50} (no measurement recorded)"),
+        }
+    }
+}
+
+/// Group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_bench(&full, self.criterion.measure, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(&full, self.criterion.measure, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver. `--bench` on the command line enables measurement;
+/// otherwise every bench runs once as a smoke test (matching how upstream
+/// criterion behaves under `cargo test`).
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters/options here; the stand-in's detection
+    /// already happened in `default()`, so this is a no-op for drop-in use.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Whether this process is measuring (ran with `--bench`) rather than
+    /// smoke-testing. Benches use this to gate expensive report emission.
+    pub fn is_measuring(&self) -> bool {
+        self.measure
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(&id.into_id(), self.measure, 10, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            measure: false,
+            sample_size: 10,
+            result_ns: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.result_ns.is_none());
+    }
+
+    #[test]
+    fn measurement_records_a_positive_median() {
+        let mut b = Bencher {
+            measure: true,
+            sample_size: 3,
+            result_ns: None,
+        };
+        b.iter(|| black_box((0..100).sum::<u64>()));
+        assert!(b.result_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("dense", 256).id, "dense/256");
+        assert_eq!(BenchmarkId::from_parameter(5).id, "5");
+    }
+}
