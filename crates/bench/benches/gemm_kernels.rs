@@ -1,0 +1,172 @@
+//! Kernel-level comparison of the GEMM/GEMV paths:
+//!
+//! * dense SGEMV — the naive rowwise reference (`tensor::gemm::sgemv`)
+//!   versus the packed row-panel kernel (`PackedMatrix::gemv`), with the
+//!   pack done once outside the timing loop exactly as plans cache it;
+//! * masked SGEMV — the naive row-skipping reference
+//!   (`sgemv_masked_reference`) versus the gather-based skip-list kernel
+//!   (`sgemv_masked`) at paper-realistic skip ratios.
+//!
+//! Shapes follow the LSTM gate matrices: `H x H` recurrent blocks and the
+//! `4H x H` stacked input projections of Table I's hidden sizes. In
+//! measurement mode (`cargo bench`) the medians are also written to
+//! `BENCH_gemm.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tensor::gemm::{sgemv, sgemv_masked, sgemv_masked_reference};
+use tensor::{Matrix, PackedMatrix, Vector};
+
+/// `(rows, cols)` of the dense comparisons: recurrent `H x H` blocks at
+/// the paper's hidden sizes plus the stacked `4H x H` gate projection.
+const DENSE_SHAPES: [(usize, usize); 4] = [(128, 128), (256, 256), (512, 256), (1024, 256)];
+
+/// Fraction of rows the skip list removes (Fig. 14's AO band and beyond).
+const SKIP_RATIOS: [f64; 3] = [0.25, 0.50, 0.75];
+
+/// Masked comparisons run on a recurrent-sized block.
+const MASKED_SHAPE: (usize, usize) = (256, 256);
+
+fn test_matrix(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * 31 + c * 7) % 13) as f32 * 0.083 - 0.5
+    })
+}
+
+fn test_vector(len: usize) -> Vector {
+    Vector::from_fn(len, |i| ((i * 17) % 11) as f32 * 0.091 - 0.45)
+}
+
+/// A deterministic skip list keeping roughly `1 - skip_ratio` of rows.
+fn skip_mask(rows: usize, skip_ratio: f64) -> Vec<bool> {
+    let period = 20usize;
+    let skipped = (skip_ratio * period as f64).round() as usize;
+    (0..rows).map(|r| (r * 7 + 3) % period >= skipped).collect()
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgemv_dense");
+    group.sample_size(20);
+    for &(rows, cols) in &DENSE_SHAPES {
+        let a = test_matrix(rows, cols);
+        let x = test_vector(cols);
+        let packed = PackedMatrix::pack(&a);
+        // The two paths must agree bitwise before we time them.
+        assert_eq!(sgemv(&a, &x).as_slice(), packed.gemv(&x).as_slice());
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{rows}x{cols}")),
+            &(),
+            |b, _| b.iter(|| black_box(sgemv(&a, &x))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed", format!("{rows}x{cols}")),
+            &(),
+            |b, _| b.iter(|| black_box(packed.gemv(&x))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_masked(c: &mut Criterion) {
+    let (rows, cols) = MASKED_SHAPE;
+    let a = test_matrix(rows, cols);
+    let x = test_vector(cols);
+    let mut group = c.benchmark_group("sgemv_masked");
+    group.sample_size(20);
+    for &ratio in &SKIP_RATIOS {
+        let mask = skip_mask(rows, ratio);
+        assert_eq!(
+            sgemv_masked_reference(&a, &x, &mask, 0.0).as_slice(),
+            sgemv_masked(&a, &x, &mask, 0.0).as_slice()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("skip{:.0}%", ratio * 100.0)),
+            &(),
+            |b, _| b.iter(|| black_box(sgemv_masked_reference(&a, &x, &mask, 0.0))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gather", format!("skip{:.0}%", ratio * 100.0)),
+            &(),
+            |b, _| b.iter(|| black_box(sgemv_masked(&a, &x, &mask, 0.0))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    bench_dense(c);
+    bench_masked(c);
+    if c.is_measuring() {
+        emit_json();
+    }
+}
+
+/// Median seconds over `reps` timings of `iters` calls of `f`, so
+/// microsecond kernels get a stable reading.
+fn median_s(reps: usize, iters: usize, f: &dyn Fn()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[reps / 2]
+}
+
+/// Re-times every comparison directly and writes `BENCH_gemm.json`.
+fn emit_json() {
+    const REPS: usize = 7;
+    const ITERS: usize = 200;
+    let mut dense = Vec::new();
+    for &(rows, cols) in &DENSE_SHAPES {
+        let a = test_matrix(rows, cols);
+        let x = test_vector(cols);
+        let packed = PackedMatrix::pack(&a);
+        let naive_s = median_s(REPS, ITERS, &|| {
+            black_box(sgemv(&a, &x));
+        });
+        let packed_s = median_s(REPS, ITERS, &|| {
+            black_box(packed.gemv(&x));
+        });
+        dense.push(format!(
+            "    {{\"rows\": {rows}, \"cols\": {cols}, \"naive_s\": {naive_s:.9}, \
+             \"packed_s\": {packed_s:.9}, \"speedup\": {:.3}}}",
+            naive_s / packed_s
+        ));
+    }
+    let (rows, cols) = MASKED_SHAPE;
+    let a = test_matrix(rows, cols);
+    let x = test_vector(cols);
+    let mut masked = Vec::new();
+    for &ratio in &SKIP_RATIOS {
+        let mask = skip_mask(rows, ratio);
+        let reference_s = median_s(REPS, ITERS, &|| {
+            black_box(sgemv_masked_reference(&a, &x, &mask, 0.0));
+        });
+        let gather_s = median_s(REPS, ITERS, &|| {
+            black_box(sgemv_masked(&a, &x, &mask, 0.0));
+        });
+        masked.push(format!(
+            "    {{\"rows\": {rows}, \"cols\": {cols}, \"skip_ratio\": {ratio:.2}, \
+             \"reference_s\": {reference_s:.9}, \"gather_s\": {gather_s:.9}, \
+             \"speedup\": {:.3}}}",
+            reference_s / gather_s
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"gemm_kernels\",\n  \"dense_sgemv\": [\n{}\n  ],\n  \
+         \"masked_sgemv\": [\n{}\n  ]\n}}\n",
+        dense.join(",\n"),
+        masked.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    std::fs::write(path, json).expect("write BENCH_gemm.json");
+    eprintln!("wrote {path}");
+}
+
+criterion_group!(benches, bench_gemm_kernels);
+criterion_main!(benches);

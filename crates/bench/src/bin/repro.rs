@@ -48,6 +48,12 @@ fn main() {
 
     match what.as_str() {
         "all" => {
+            // Build every evaluator and sweep up front, fanned out across
+            // benchmarks/levels on the session pool (MEMLSTM_THREADS);
+            // the experiments below then replay cached results.
+            let start = std::time::Instant::now();
+            session.prewarm();
+            eprintln!("[prewarm took {:.1}s]", start.elapsed().as_secs_f64());
             for (name, f) in &experiments {
                 let start = std::time::Instant::now();
                 println!("################ {name} ################");

@@ -7,6 +7,7 @@ use gpu_sim::GpuConfig;
 use memlstm::drs::{DrsConfig, DrsMode};
 use memlstm::exec::OptimizerConfig;
 use memlstm::thresholds::{threshold_sets, Evaluator, ThresholdSet, TradeoffPoint};
+use pool::Pool;
 use std::collections::BTreeMap;
 use workloads::{Benchmark, Workload};
 
@@ -24,11 +25,19 @@ pub enum Level {
     Combined,
 }
 
+/// Every level, in sweep order.
+pub const ALL_LEVELS: [Level; 3] = [Level::Inter, Level::Intra, Level::Combined];
+
 /// Cached state for one `repro` invocation.
+///
+/// Caches are keyed by `(benchmark, fast)` so toggling the budget with
+/// [`Session::set_fast`] mid-session cannot silently serve results
+/// computed under the other budget — each budget's offline phase and
+/// sweeps are cached independently.
 pub struct Session {
     fast: bool,
-    evaluators: BTreeMap<Benchmark, Evaluator>,
-    sweeps: BTreeMap<(Benchmark, Level), Vec<TradeoffPoint>>,
+    evaluators: BTreeMap<(Benchmark, bool), Evaluator>,
+    sweeps: BTreeMap<(Benchmark, bool, Level), Vec<TradeoffPoint>>,
 }
 
 impl Session {
@@ -46,20 +55,30 @@ impl Session {
         self.fast
     }
 
+    /// Switches the evaluation budget; previously cached results for
+    /// either budget remain valid and cached under their own key.
+    pub fn set_fast(&mut self, fast: bool) {
+        self.fast = fast;
+    }
+
+    fn build_evaluator(benchmark: Benchmark, fast: bool) -> Evaluator {
+        eprintln!("[session] preparing {benchmark} (offline phase)...");
+        let budget = if fast {
+            fast_budget()
+        } else {
+            budget_for(benchmark)
+        };
+        let workload = Workload::generate(benchmark, budget.accuracy_seqs, 0xBEEF);
+        Evaluator::new(workload, GpuConfig::tegra_x1())
+            .with_budget(budget.perf_seqs, budget.accuracy_seqs)
+    }
+
     /// The evaluator for a benchmark (offline phase runs on first use).
     pub fn evaluator(&mut self, benchmark: Benchmark) -> &Evaluator {
         let fast = self.fast;
-        self.evaluators.entry(benchmark).or_insert_with(|| {
-            eprintln!("[session] preparing {benchmark} (offline phase)...");
-            let budget = if fast {
-                fast_budget()
-            } else {
-                budget_for(benchmark)
-            };
-            let workload = Workload::generate(benchmark, budget.accuracy_seqs, 0xBEEF);
-            Evaluator::new(workload, GpuConfig::tegra_x1())
-                .with_budget(budget.perf_seqs, budget.accuracy_seqs)
-        })
+        self.evaluators
+            .entry((benchmark, fast))
+            .or_insert_with(|| Self::build_evaluator(benchmark, fast))
     }
 
     /// The threshold sets for a benchmark (from its offline upper limits).
@@ -76,53 +95,53 @@ impl Session {
         set: &ThresholdSet,
     ) -> OptimizerConfig {
         let mts = self.evaluator(benchmark).mts();
-        match level {
-            Level::Inter => OptimizerConfig::inter_only(set.alpha_inter, mts),
-            Level::Intra => OptimizerConfig::intra_only(DrsConfig {
-                alpha_intra: set.alpha_intra,
-                mode: DrsMode::Hardware,
-            }),
-            Level::Combined => OptimizerConfig::combined(
-                set.alpha_inter,
-                mts,
-                DrsConfig {
-                    alpha_intra: set.alpha_intra,
-                    mode: DrsMode::Hardware,
-                },
-            ),
-        }
+        config_for_level(level, set, mts)
     }
 
     /// The 11-point sweep of a benchmark at a level, cached.
     pub fn sweep(&mut self, benchmark: Benchmark, level: Level) -> Vec<TradeoffPoint> {
-        if let Some(points) = self.sweeps.get(&(benchmark, level)) {
+        let fast = self.fast;
+        if let Some(points) = self.sweeps.get(&(benchmark, fast, level)) {
             return points.clone();
         }
-        eprintln!("[session] sweeping {benchmark} ({level:?})...");
-        let sets = self.sets(benchmark);
-        let configs: Vec<_> = sets
-            .iter()
-            .map(|s| (s, self.config_for(benchmark, level, s)))
-            .collect();
-        let configs: Vec<(ThresholdSet, OptimizerConfig)> =
-            configs.into_iter().map(|(s, c)| (*s, c)).collect();
-        let ev = self.evaluator(benchmark);
-        let base = ev.baseline_perf();
-        let points: Vec<TradeoffPoint> = configs
-            .iter()
-            .map(|(set, config)| {
-                let (perf, accuracy, _) = ev.evaluate(*config);
-                TradeoffPoint {
-                    set: *set,
-                    speedup: base.time_s / perf.time_s,
-                    accuracy,
-                    energy_saving: 1.0 - perf.energy_j / base.energy_j,
-                    power_saving: 1.0 - perf.power_w() / base.power_w(),
-                }
-            })
-            .collect();
-        self.sweeps.insert((benchmark, level), points.clone());
+        let points = compute_sweep(self.evaluator(benchmark), level);
+        self.sweeps.insert((benchmark, fast, level), points.clone());
         points
+    }
+
+    /// Builds every benchmark's evaluator, then every per-level sweep, in
+    /// parallel across benchmarks/levels (each sweep's own fan-out then
+    /// runs serial inside its task). The cached results are bit-identical
+    /// to on-demand serial construction; prewarming only changes when the
+    /// wall-clock cost is paid.
+    pub fn prewarm(&mut self) {
+        let pool = Pool::new();
+        let fast = self.fast;
+        let missing: Vec<Benchmark> = self
+            .benchmarks()
+            .into_iter()
+            .filter(|b| !self.evaluators.contains_key(&(*b, fast)))
+            .collect();
+        let built = pool.par_map(missing, |benchmark| {
+            (benchmark, Self::build_evaluator(benchmark, fast))
+        });
+        for (benchmark, ev) in built {
+            self.evaluators.insert((benchmark, fast), ev);
+        }
+        let jobs: Vec<(Benchmark, Level)> = self
+            .benchmarks()
+            .into_iter()
+            .flat_map(|b| ALL_LEVELS.map(|level| (b, level)))
+            .filter(|(b, level)| !self.sweeps.contains_key(&(*b, fast, *level)))
+            .collect();
+        let evaluators = &self.evaluators;
+        let swept = pool.par_map(jobs, |(benchmark, level)| {
+            let ev = &evaluators[&(benchmark, fast)];
+            (benchmark, level, compute_sweep(ev, level))
+        });
+        for (benchmark, level, points) in swept {
+            self.sweeps.insert((benchmark, fast, level), points);
+        }
     }
 
     /// The benchmarks a session iterates over (`--fast` restricts to the
@@ -134,4 +153,47 @@ impl Session {
             Benchmark::ALL.to_vec()
         }
     }
+}
+
+/// Maps a threshold set to the optimizer configuration of a level.
+fn config_for_level(level: Level, set: &ThresholdSet, mts: usize) -> OptimizerConfig {
+    match level {
+        Level::Inter => OptimizerConfig::inter_only(set.alpha_inter, mts),
+        Level::Intra => OptimizerConfig::intra_only(DrsConfig {
+            alpha_intra: set.alpha_intra,
+            mode: DrsMode::Hardware,
+        }),
+        Level::Combined => OptimizerConfig::combined(
+            set.alpha_inter,
+            mts,
+            DrsConfig {
+                alpha_intra: set.alpha_intra,
+                mode: DrsMode::Hardware,
+            },
+        ),
+    }
+}
+
+/// Computes a level's 11-point sweep, fanning the sets out on the
+/// evaluator's pool (points return in set order, bit-identical for any
+/// worker count).
+fn compute_sweep(ev: &Evaluator, level: Level) -> Vec<TradeoffPoint> {
+    eprintln!(
+        "[session] sweeping {} ({level:?})...",
+        ev.workload().benchmark()
+    );
+    let sets = threshold_sets(ev.upper_alpha_inter(), ev.upper_alpha_intra(), NUM_SETS);
+    let base = ev.baseline_perf();
+    let mts = ev.mts();
+    ev.pool().par_map(sets, |set| {
+        let config = config_for_level(level, &set, mts);
+        let (perf, accuracy, _) = ev.evaluate(config);
+        TradeoffPoint {
+            set,
+            speedup: base.time_s / perf.time_s,
+            accuracy,
+            energy_saving: 1.0 - perf.energy_j / base.energy_j,
+            power_saving: 1.0 - perf.power_w() / base.power_w(),
+        }
+    })
 }

@@ -1,9 +1,10 @@
 //! The LSTM cell: weights and the Eq. 1–5 arithmetic.
 
 use rand::Rng;
-use tensor::gemm::{sgemv, sgemv_masked};
+use std::sync::OnceLock;
+use tensor::gemm::sgemv_masked;
 use tensor::init::{xavier_uniform, GateBiasInit, RowScaledInit};
-use tensor::{tanh, Activation, Matrix, Vector};
+use tensor::{tanh, Activation, Matrix, PackedMatrix, Vector};
 
 /// One vector per LSTM gate, in the paper's `f, i, c, o` order.
 ///
@@ -53,7 +54,7 @@ pub struct CellStep {
 /// Matrices follow Eqs. 1–4: `W_g` is `hidden x input`, `U_g` is
 /// `hidden x hidden`, and `b_g` has length `hidden`, for each gate
 /// `g ∈ {f, i, c, o}`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct CellWeights {
     /// Input weights per gate.
     pub w: GateMatrices,
@@ -64,6 +65,60 @@ pub struct CellWeights {
     hidden: usize,
     input: usize,
     gate_activation: Activation,
+    /// Lazily built packed row-panel copies of the gate matrices, shared
+    /// by every plan/runtime that executes this layer. Packing is paid
+    /// once per layer, not per timestep (cf. E-PUR's tiled weight reuse).
+    /// The cache never diverges from `w`/`u` numerically (packing is a
+    /// relayout, not a transform), but callers that mutate the public
+    /// weight fields after a forward pass must rebuild the cell via
+    /// [`CellWeights::from_parts`] to drop the stale panels. `Clone` is
+    /// manual and does **not** copy the cache, so the common
+    /// clone-then-edit pattern (e.g. zero pruning) starts cache-cold.
+    packed: OnceLock<PackedCellWeights>,
+}
+
+impl Clone for CellWeights {
+    fn clone(&self) -> Self {
+        Self {
+            w: self.w.clone(),
+            u: self.u.clone(),
+            b: self.b.clone(),
+            hidden: self.hidden,
+            input: self.input,
+            gate_activation: self.gate_activation,
+            // Deliberately fresh: a clone is usually made to be edited,
+            // and a carried-over cache would keep serving the original
+            // weights after the edit.
+            packed: OnceLock::new(),
+        }
+    }
+}
+
+/// Row-panel packed copies of all eight gate matrices (see
+/// [`tensor::packed`]). Built lazily by [`CellWeights::packed`].
+#[derive(Debug, Clone)]
+struct PackedCellWeights {
+    wf: PackedMatrix,
+    wi: PackedMatrix,
+    wc: PackedMatrix,
+    wo: PackedMatrix,
+    uf: PackedMatrix,
+    ui: PackedMatrix,
+    uc: PackedMatrix,
+    uo: PackedMatrix,
+}
+
+impl PartialEq for CellWeights {
+    fn eq(&self, other: &Self) -> bool {
+        // The packed cache is a pure relayout of `w`/`u` — two cells are
+        // equal iff their logical weights are, cache state aside.
+        self.w == other.w
+            && self.u == other.u
+            && self.b == other.b
+            && self.hidden == other.hidden
+            && self.input == other.input
+            && self.gate_activation == other.gate_activation
+    }
 }
 
 /// One matrix per LSTM gate, in `f, i, c, o` order.
@@ -167,7 +222,23 @@ impl CellWeights {
             hidden,
             input,
             gate_activation: Activation::Sigmoid,
+            packed: OnceLock::new(),
         }
+    }
+
+    /// The packed row-panel copies of the gate matrices, built on first
+    /// use and reused for the lifetime of the cell.
+    fn packed(&self) -> &PackedCellWeights {
+        self.packed.get_or_init(|| PackedCellWeights {
+            wf: PackedMatrix::pack(&self.w.f),
+            wi: PackedMatrix::pack(&self.w.i),
+            wc: PackedMatrix::pack(&self.w.c),
+            wo: PackedMatrix::pack(&self.w.o),
+            uf: PackedMatrix::pack(&self.u.f),
+            ui: PackedMatrix::pack(&self.u.i),
+            uc: PackedMatrix::pack(&self.u.c),
+            uo: PackedMatrix::pack(&self.u.o),
+        })
     }
 
     /// Switches the gate activation to the hard sigmoid (the accelerated
@@ -367,11 +438,12 @@ impl CellWeights {
     /// # Panics
     /// Panics if `x.len() != input_dim`.
     pub fn precompute_wx(&self, x: &Vector) -> GatePreacts {
+        let p = self.packed();
         GatePreacts {
-            f: sgemv(&self.w.f, x),
-            i: sgemv(&self.w.i, x),
-            c: sgemv(&self.w.c, x),
-            o: sgemv(&self.w.o, x),
+            f: p.wf.gemv(x),
+            i: p.wi.gemv(x),
+            c: p.wc.gemv(x),
+            o: p.wo.gemv(x),
         }
     }
 
@@ -387,10 +459,11 @@ impl CellWeights {
         let n = self.hidden;
         assert_eq!(h_prev.len(), n, "h_prev length mismatch");
         assert_eq!(c_prev.len(), n, "c_prev length mismatch");
-        let uf = sgemv(&self.u.f, h_prev);
-        let ui = sgemv(&self.u.i, h_prev);
-        let uc = sgemv(&self.u.c, h_prev);
-        let uo = sgemv(&self.u.o, h_prev);
+        let p = self.packed();
+        let uf = p.uf.gemv(h_prev);
+        let ui = p.ui.gemv(h_prev);
+        let uc = p.uc.gemv(h_prev);
+        let uo = p.uo.gemv(h_prev);
 
         let sig = self.gate_activation;
         let mut f = Vector::zeros(n);
@@ -418,7 +491,7 @@ impl CellWeights {
     /// Algorithm 3 lines 4–5, executed *before* the `U_{f,i,c}` work so the
     /// trivial rows can be identified.
     pub fn output_gate(&self, wx_o: &Vector, h_prev: &Vector) -> Vector {
-        let uo = sgemv(&self.u.o, h_prev);
+        let uo = self.packed().uo.gemv(h_prev);
         Vector::from_fn(self.hidden, |j| {
             self.gate_activation.apply(wx_o[j] + uo[j] + self.b.o[j])
         })
@@ -634,6 +707,47 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         assert_eq!(small_cell(42), small_cell(42));
+    }
+
+    #[test]
+    fn packed_paths_bit_identical_to_raw_sgemv() {
+        // The packed weight panels must reproduce the reference sgemv
+        // kernel bitwise — this is the cell-level anchor of the crate-wide
+        // bit-exactness contract (tensor::packed docs).
+        use tensor::gemm::sgemv;
+        let cell = CellWeights::random(12, 20, &mut seeded_rng(77));
+        let mut rng = seeded_rng(78);
+        let x = Vector::from_fn(12, |_| rng.gen_range(-1.0f32..1.0));
+        let h0 = Vector::from_fn(20, |_| rng.gen_range(-1.0f32..1.0));
+        let wx = cell.precompute_wx(&x);
+        assert_eq!(wx.f, sgemv(&cell.w.f, &x));
+        assert_eq!(wx.i, sgemv(&cell.w.i, &x));
+        assert_eq!(wx.c, sgemv(&cell.w.c, &x));
+        assert_eq!(wx.o, sgemv(&cell.w.o, &x));
+        let o = cell.output_gate(&wx.o, &h0);
+        let o_ref = Vector::from_fn(20, |j| {
+            cell.gate_activation()
+                .apply(wx.o[j] + sgemv(&cell.u.o, &h0)[j] + cell.b.o[j])
+        });
+        assert_eq!(o, o_ref);
+    }
+
+    #[test]
+    fn clone_does_not_carry_the_packed_cache() {
+        // Regression: zero pruning clones a cell and overwrites its raw
+        // matrices. A clone that carried the already-built panels would
+        // keep computing with the *original* weights.
+        use tensor::gemm::sgemv;
+        let cell = CellWeights::random(12, 20, &mut seeded_rng(91));
+        let mut rng = seeded_rng(92);
+        let x = Vector::from_fn(12, |_| rng.gen_range(-1.0f32..1.0));
+        let _ = cell.precompute_wx(&x); // force the pack on the original
+        let mut edited = cell.clone();
+        edited.u.f = Matrix::zeros(20, 20);
+        edited.w.f = Matrix::zeros(20, 12);
+        let wx = edited.precompute_wx(&x);
+        assert_eq!(wx.f, sgemv(&edited.w.f, &x), "clone served stale panels");
+        assert!(wx.f.iter().all(|&v| v == 0.0));
     }
 
     #[test]

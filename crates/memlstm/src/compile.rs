@@ -39,6 +39,7 @@ use lstm::schedule::{
     drs_kernel, ew_kernel, head_kernel, tissue_sgemm_kernel, u_sgemv_kernel, wx_sgemm_kernel, F32,
 };
 use lstm::{LayerRegions, LstmNetwork};
+use pool::Pool;
 use tensor::Vector;
 
 /// Compiles an [`ExecutionPlan`] for `net` under `config`, analyzing the
@@ -78,7 +79,12 @@ pub fn compile(
     let regions = NetworkRegions::allocate(&mut alloc, cfg.num_layers);
 
     let mut layers = Vec::with_capacity(cfg.num_layers);
-    let mut runtime = PlanRuntime::new();
+    // Probe fan-outs run on an env-sized pool (`MEMLSTM_THREADS`); when
+    // compile itself is invoked from inside a pool task (e.g. a parallel
+    // threshold sweep), the nested sections degrade to inline serial
+    // execution, so thread counts stay bounded. All merges below are in
+    // probe order: the plan is bit-identical for any worker count.
+    let probe_pool = Pool::new();
     let mut currents: Vec<Vec<Vector>> = probes.to_vec();
     for (l, layer) in net.layers().iter().enumerate() {
         let hidden = layer.hidden();
@@ -90,9 +96,12 @@ pub fn compile(
             seq_len,
             &mut alloc,
         );
-        let wxs: Vec<Vec<GatePreacts>> = currents.iter().map(|c| layer.precompute_wx(c)).collect();
+        let wxs: Vec<Vec<GatePreacts>> = probe_pool
+            .par_map(currents.iter().collect::<Vec<_>>(), |c| {
+                layer.precompute_wx(c)
+            });
         let (body, stats) = if config.inter {
-            let relevances = combined_relevances(&analyzers[l], &wxs);
+            let relevances = combined_relevances(&analyzers[l], &wxs, probe_pool);
             tissue_body(
                 l,
                 &relevances,
@@ -110,10 +119,13 @@ pub fn compile(
         };
         // Advance every probe through the planned layer with the runtime's
         // own arithmetic, so the next layer is analyzed against the
-        // inputs it will actually receive.
-        for (current, wx) in currents.iter_mut().zip(&wxs) {
-            *current = runtime.layer_numerics(&body, layer.weights(), wx);
-        }
+        // inputs it will actually receive. Each probe advances through its
+        // own PlanRuntime (runtime reuse is pure scratch reuse, proven
+        // bit-identical by the exec-crate plan-reuse tests).
+        currents = probe_pool.par_map((0..currents.len()).collect::<Vec<usize>>(), |p| {
+            let mut runtime = PlanRuntime::new();
+            runtime.layer_numerics(&body, layer.weights(), &wxs[p])
+        });
         layers.push(LayerPlan {
             wx: wx_kernel,
             body,
@@ -133,10 +145,19 @@ pub fn compile(
 /// estimate of each link's expected relevance over the data distribution.
 /// A link breaks when it is weak *on average* — the AO/BPA selection then
 /// enforces the accuracy budget empirically on held-out sequences.
-fn combined_relevances(analyzer: &RelevanceAnalyzer, wxs: &[Vec<GatePreacts>]) -> Vec<f64> {
-    let mut combined = analyzer.layer_relevances(&wxs[0]);
-    for wx in &wxs[1..] {
-        for (c, v) in combined.iter_mut().zip(analyzer.layer_relevances(wx)) {
+fn combined_relevances(
+    analyzer: &RelevanceAnalyzer,
+    wxs: &[Vec<GatePreacts>],
+    pool: Pool,
+) -> Vec<f64> {
+    // Per-probe relevances fan out; the average accumulates in probe
+    // order, so it is bit-identical to the serial loop.
+    let per_probe = pool.par_map(wxs.iter().collect::<Vec<_>>(), |wx| {
+        analyzer.layer_relevances(wx)
+    });
+    let mut combined = per_probe[0].clone();
+    for probe in &per_probe[1..] {
+        for (c, &v) in combined.iter_mut().zip(probe) {
             *c += v;
         }
     }

@@ -17,6 +17,7 @@ use crate::tissue::schedule_tissues;
 use gpu_sim::{GpuConfig, GpuDevice, SimReport};
 use lstm::plan::NullSink;
 use lstm::{ExecutionPlan, PlanRuntime};
+use pool::Pool;
 use workloads::{teacher_match_nested, Workload};
 
 /// One point in the 11-set threshold space.
@@ -143,15 +144,23 @@ pub struct Evaluator {
     drs_mode: DrsMode,
     perf_seqs: usize,
     accuracy_seqs: usize,
+    pool: Pool,
 }
 
 impl Evaluator {
     /// Runs the offline phase for `workload` on `gpu`.
+    ///
+    /// Parallel sections (the offline probe fan-outs here, and later
+    /// [`Evaluator::sweep`] / [`Evaluator::evaluate`]) use a
+    /// [`Pool`] sized from `MEMLSTM_THREADS` / the machine; override it
+    /// with [`Evaluator::with_pool`]. Results are bit-identical for any
+    /// worker count — parallelism only changes wall-clock time.
     pub fn new(workload: Workload, gpu: GpuConfig) -> Self {
+        let pool = Pool::new();
         let mts = determine_mts(&gpu, workload.network().config().hidden_size, 10).mts;
         let predictors =
             NetworkPredictors::collect(workload.network(), workload.dataset().offline());
-        let upper_inter = upper_alpha_inter(&workload, mts);
+        let upper_inter = upper_alpha_inter_pooled(&workload, mts, pool);
         Self {
             workload,
             gpu,
@@ -162,7 +171,19 @@ impl Evaluator {
             drs_mode: DrsMode::Hardware,
             perf_seqs: 2,
             accuracy_seqs: usize::MAX,
+            pool,
         }
+    }
+
+    /// Replaces the thread pool used by parallel sections.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The thread pool parallel sections run on.
+    pub fn pool(&self) -> Pool {
+        self.pool
     }
 
     /// Restricts how many evaluation sequences feed the accuracy and
@@ -271,31 +292,46 @@ impl Evaluator {
         let net = self.workload.network();
         let exec = OptimizedExecutor::new(net, &self.predictors, config);
         let plan = exec.plan_probes(self.workload.dataset().offline());
-        let mut runtime = PlanRuntime::new();
+        let n_acc = self.workload.eval_set().len().min(self.accuracy_seqs);
+        // Each sequence streams through its own `PlanRuntime`; sequences
+        // inside the perf budget get a fresh device (a trace session always
+        // starts from reset cache state, so a fresh device per sequence is
+        // exactly the serial reset-per-sequence flow). The per-sequence
+        // results are merged below strictly in input order, so the pricing
+        // sums are bit-identical to the serial loop for any worker count.
+        let per_seq = self.pool.par_map((0..n_acc).collect::<Vec<usize>>(), |i| {
+            let xs = &self.workload.eval_set()[i];
+            let mut runtime = PlanRuntime::new();
+            if i < self.perf_seqs {
+                let mut device = GpuDevice::new(self.gpu.clone());
+                let mut session = device.begin_trace();
+                let output = runtime.run_lstm(&plan, net, xs, &mut session);
+                let report = session.finish();
+                let perf = PerfSummary::from_report(&report);
+                let stats = OptRunStats::from_plan_run(&plan, &output);
+                let preds = net.step_predictions(output.layer_hs.last().expect("layers"));
+                (Some((perf, stats)), preds)
+            } else {
+                let output = runtime.run_lstm(&plan, net, xs, &mut NullSink);
+                let preds = net.step_predictions(output.layer_hs.last().expect("layers"));
+                (None, preds)
+            }
+        });
         let mut perf = PerfSummary {
             time_s: 0.0,
             energy_j: 0.0,
             dram_bytes: 0,
         };
-        let mut device = GpuDevice::new(self.gpu.clone());
-        let mut approx_preds: Vec<Vec<usize>> = Vec::new();
         let mut stats = OptRunStats::default();
-        let n_acc = self.workload.eval_set().len().min(self.accuracy_seqs);
-        for (i, xs) in self.workload.eval_set().iter().take(n_acc).enumerate() {
-            let output = if i < self.perf_seqs {
-                device.reset();
-                let mut session = device.begin_trace();
-                let output = runtime.run_lstm(&plan, net, xs, &mut session);
-                let report = session.finish();
-                perf.time_s += report.time_s;
-                perf.energy_j += report.energy.total_j();
-                perf.dram_bytes += report.dram_bytes();
-                stats = OptRunStats::from_plan_run(&plan, &output);
-                output
-            } else {
-                runtime.run_lstm(&plan, net, xs, &mut NullSink)
-            };
-            approx_preds.push(net.step_predictions(output.layer_hs.last().expect("layers")));
+        let mut approx_preds: Vec<Vec<usize>> = Vec::with_capacity(n_acc);
+        for (priced, preds) in per_seq {
+            if let Some((seq_perf, seq_stats)) = priced {
+                perf.time_s += seq_perf.time_s;
+                perf.energy_j += seq_perf.energy_j;
+                perf.dram_bytes += seq_perf.dram_bytes;
+                stats = seq_stats;
+            }
+            approx_preds.push(preds);
         }
         let teacher = &self.workload.teacher_labels()[..n_acc];
         let accuracy = teacher_match_nested(teacher, &approx_preds);
@@ -303,21 +339,25 @@ impl Evaluator {
     }
 
     /// Full Fig. 19-style sweep over `count` threshold sets.
+    ///
+    /// Sets are evaluated in parallel on the evaluator's pool (each set
+    /// compiles and prices independently; within a set the per-sequence
+    /// fan-out then runs serial, since nesting degrades to inline
+    /// execution). The returned points are in set order and bit-identical
+    /// for any worker count.
     pub fn sweep(&self, count: usize) -> Vec<TradeoffPoint> {
         let sets = threshold_sets(self.upper_inter, self.upper_intra, count);
         let base = self.baseline_perf();
-        sets.iter()
-            .map(|set| {
-                let (perf, accuracy, _) = self.evaluate(self.combined_config(set));
-                TradeoffPoint {
-                    set: *set,
-                    speedup: base.time_s / perf.time_s,
-                    accuracy,
-                    energy_saving: 1.0 - perf.energy_j / base.energy_j,
-                    power_saving: 1.0 - perf.power_w() / base.power_w(),
-                }
-            })
-            .collect()
+        self.pool.par_map(sets, |set| {
+            let (perf, accuracy, _) = self.evaluate(self.combined_config(&set));
+            TradeoffPoint {
+                set,
+                speedup: base.time_s / perf.time_s,
+                accuracy,
+                energy_saving: 1.0 - perf.energy_j / base.energy_j,
+                power_saving: 1.0 - perf.power_w() / base.power_w(),
+            }
+        })
     }
 }
 
@@ -389,6 +429,13 @@ pub fn tune_combined_ao(
 /// same averaging the plan compiler uses, so the limit is consistent with
 /// what `Evaluator::evaluate` compiles at threshold set 10.
 pub fn upper_alpha_inter(workload: &Workload, mts: usize) -> f64 {
+    upper_alpha_inter_pooled(workload, mts, Pool::new())
+}
+
+/// [`upper_alpha_inter`] with an explicit pool: the per-probe relevance
+/// collection and the probe advance fan out across probe sequences, with
+/// the per-probe results merged in probe order (bit-identical to serial).
+pub fn upper_alpha_inter_pooled(workload: &Workload, mts: usize, pool: Pool) -> f64 {
     let net = workload.network();
     let probes = workload.dataset().offline();
     let n = probes[0].len();
@@ -398,9 +445,11 @@ pub fn upper_alpha_inter(workload: &Workload, mts: usize) -> f64 {
     for layer in net.layers() {
         let analyzer = RelevanceAnalyzer::new(layer.weights());
         let mut relevances = vec![0.0f64; n];
-        for current in &currents {
-            let wx = layer.precompute_wx(current);
-            for (r, v) in relevances.iter_mut().zip(analyzer.layer_relevances(&wx)) {
+        let per_probe = pool.par_map((0..currents.len()).collect::<Vec<usize>>(), |p| {
+            analyzer.layer_relevances(&layer.precompute_wx(&currents[p]))
+        });
+        for probe_rel in &per_probe {
+            for (r, &v) in relevances.iter_mut().zip(probe_rel) {
                 *r += v;
             }
         }
@@ -420,11 +469,12 @@ pub fn upper_alpha_inter(workload: &Workload, mts: usize) -> f64 {
             })
             .unwrap_or(RelevanceAnalyzer::max_relevance());
         upper = upper.max(layer_upper);
-        // Advance every probe through the exact layer.
-        for current in currents.iter_mut() {
-            let (hs, _) = layer.forward(current, &lstm::LayerState::zeros(layer.hidden()));
-            *current = hs;
-        }
+        // Advance every probe through the exact layer (each probe is an
+        // independent forward pass; results replace in probe order).
+        currents = pool.par_map(currents, |current| {
+            let (hs, _) = layer.forward(&current, &lstm::LayerState::zeros(layer.hidden()));
+            hs
+        });
     }
     upper
 }

@@ -1,0 +1,370 @@
+//! Std-only scoped thread pool with work-stealing scheduling and a
+//! deterministic, ordered `par_map`.
+//!
+//! The host-side pipeline of the memlstm reproduction (threshold sweeps,
+//! per-sequence evaluation, probe averaging) is embarrassingly parallel
+//! across coarse tasks, but the project's numbers must be **bit-identical
+//! regardless of worker count**. This crate provides exactly that
+//! contract:
+//!
+//! * [`Pool::par_map`] runs `f` over the items on the pool's workers and
+//!   returns the results **in input order** — every result lands in the
+//!   slot of the item that produced it, so scheduling order is invisible
+//!   to the caller. As long as `f` itself is a pure function of its item,
+//!   the output is byte-for-byte the same for 1 worker or 64.
+//! * [`Pool::scope`] exposes the underlying primitive: spawn arbitrary
+//!   tasks that may borrow from the enclosing stack frame; the scope does
+//!   not return until every task has finished.
+//!
+//! Scheduling is work-stealing in the classic sense: spawned tasks are
+//! distributed round-robin across per-worker deques; a worker pops its
+//! own deque newest-first (LIFO, cache-warm) and, when empty, steals the
+//! *oldest* task from a sibling (FIFO), which rebalances adversarially
+//! uneven task durations. The queues live behind a single mutex — the
+//! pool targets coarse tasks (whole eval sequences, whole threshold
+//! configs) where queue traffic is negligible, and `std`-only safe code
+//! rules out lock-free deques.
+//!
+//! Worker count comes from the `MEMLSTM_THREADS` environment variable
+//! when set (a positive integer), else [`std::thread::available_parallelism`].
+//! A pool of one worker — and any nested use from inside a pool task —
+//! degrades to inline serial execution on the calling thread, so the
+//! serial path is always exercised by `MEMLSTM_THREADS=1` and nesting
+//! can never oversubscribe the machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+thread_local! {
+    /// Set while the current thread is a pool worker executing tasks;
+    /// nested pool use detects this and runs serially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` when called from inside a pool task (nested parallelism would
+/// oversubscribe, so nested scopes run serial).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// A handle describing how many workers parallel sections may use.
+///
+/// `Pool` is a cheap value type (it holds only the worker count); the
+/// worker threads themselves are scoped to each [`Pool::scope`] /
+/// [`Pool::par_map`] call, so a `Pool` can be stored in long-lived
+/// structs without keeping idle threads alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pool {
+    /// A pool sized from `MEMLSTM_THREADS` (positive integer) when set,
+    /// else the machine's available parallelism.
+    pub fn new() -> Self {
+        let workers = std::env::var("MEMLSTM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self { workers }
+    }
+
+    /// A pool with an explicit worker count (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A single-worker pool: every parallel section runs inline serial.
+    pub fn serial() -> Self {
+        Self::with_workers(1)
+    }
+
+    /// The number of workers parallel sections will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` with a [`Scope`] on which tasks can be spawned; returns
+    /// once `f` and every spawned task have finished.
+    ///
+    /// With one worker — or when called from inside a pool task — tasks
+    /// execute inline, in spawn order, on the calling thread.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        if self.workers <= 1 || in_worker() {
+            return f(&Scope { shared: None });
+        }
+        let shared = Shared {
+            state: Mutex::new(State {
+                locals: (0..self.workers).map(|_| VecDeque::new()).collect(),
+                next_rr: 0,
+                pending: 0,
+                closed: false,
+            }),
+            work: Condvar::new(),
+        };
+        std::thread::scope(|ts| {
+            for id in 0..self.workers {
+                let sh = &shared;
+                ts.spawn(move || worker_loop(sh, id));
+            }
+            // Mark the scope closed even if `f` panics, so workers always
+            // drain and exit and the join below cannot deadlock.
+            let _close = CloseGuard(&shared);
+            f(&Scope {
+                shared: Some(&shared),
+            })
+        })
+    }
+
+    /// Applies `f` to every item on the pool's workers, returning the
+    /// results **in input order**. Bit-deterministic for any worker count
+    /// as long as `f` is a pure function of its item.
+    ///
+    /// Runs inline serial for a single-worker pool, a 0/1-item input, or
+    /// when called from inside a pool task (nesting stays bounded).
+    ///
+    /// # Panics
+    /// Propagates the first panic raised by `f`.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        if self.workers <= 1 || in_worker() || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let f = &f;
+        let slots_ref = &slots;
+        self.scope(|s| {
+            for (i, item) in items.into_iter().enumerate() {
+                s.spawn(move || {
+                    *slots_ref[i].lock().unwrap() = Some(f(item));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("par_map: worker finished without writing its slot")
+            })
+            .collect()
+    }
+}
+
+/// Spawning handle passed to the closure of [`Pool::scope`].
+pub struct Scope<'s, 'env> {
+    /// `None` in serial mode: tasks run inline at the spawn site.
+    shared: Option<&'s Shared<'env>>,
+}
+
+impl<'s, 'env> Scope<'s, 'env> {
+    /// Spawns a task onto the scope's workers (round-robin into the
+    /// per-worker deques). In serial mode the task runs immediately on
+    /// the calling thread.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        match self.shared {
+            None => task(),
+            Some(sh) => {
+                let mut st = sh.state.lock().unwrap();
+                st.pending += 1;
+                let slot = st.next_rr % st.locals.len();
+                st.next_rr += 1;
+                st.locals[slot].push_back(Box::new(task));
+                drop(st);
+                sh.work.notify_one();
+            }
+        }
+    }
+}
+
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct State<'env> {
+    /// One deque per worker; `Scope::spawn` feeds them round-robin.
+    locals: Vec<VecDeque<Task<'env>>>,
+    next_rr: usize,
+    /// Tasks spawned but not yet finished (queued + running).
+    pending: usize,
+    /// Set when the scope closure has returned: no more spawns will come.
+    closed: bool,
+}
+
+struct Shared<'env> {
+    state: Mutex<State<'env>>,
+    work: Condvar,
+}
+
+fn worker_loop<'env>(shared: &Shared<'env>, id: usize) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        if let Some(task) = take_task(&mut st, id) {
+            drop(st);
+            {
+                // Decrement `pending` even if the task panics, so sibling
+                // workers can still observe completion and exit (the panic
+                // itself is re-raised by `std::thread::scope` at join).
+                let _guard = PendingGuard(shared);
+                task();
+            }
+            st = shared.state.lock().unwrap();
+        } else if st.closed && st.pending == 0 {
+            break;
+        } else {
+            st = shared.work.wait(st).unwrap();
+        }
+    }
+    drop(st);
+    IN_WORKER.with(|w| w.set(false));
+}
+
+/// Own deque newest-first (LIFO, cache-warm); steal oldest-first (FIFO)
+/// from siblings when empty.
+fn take_task<'env>(st: &mut State<'env>, id: usize) -> Option<Task<'env>> {
+    if let Some(t) = st.locals[id].pop_back() {
+        return Some(t);
+    }
+    let n = st.locals.len();
+    for off in 1..n {
+        let victim = (id + off) % n;
+        if let Some(t) = st.locals[victim].pop_front() {
+            return Some(t);
+        }
+    }
+    None
+}
+
+struct PendingGuard<'a, 'env>(&'a Shared<'env>);
+
+impl Drop for PendingGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        st.pending -= 1;
+        drop(st);
+        self.0.work.notify_all();
+    }
+}
+
+struct CloseGuard<'a, 'env>(&'a Shared<'env>);
+
+impl Drop for CloseGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.0.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn par_map_preserves_order_under_adversarial_durations() {
+        // Early items sleep longest, so with eager scheduling they finish
+        // *last* — the output must still be in input order.
+        let pool = Pool::with_workers(4);
+        let items: Vec<usize> = (0..32).collect();
+        let out = pool.par_map(items, |i| {
+            std::thread::sleep(Duration::from_millis(((37 - i) % 9) as u64));
+            i * 10
+        });
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_identical_across_worker_counts() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |i: u64| i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        let serial = Pool::serial().par_map(items.clone(), f);
+        for workers in [2, 3, 8] {
+            let parallel = Pool::with_workers(workers).par_map(items.clone(), f);
+            assert_eq!(serial, parallel, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let pool = Pool::with_workers(4);
+        assert_eq!(pool.par_map(Vec::<i32>::new(), |x| x), Vec::<i32>::new());
+        assert_eq!(pool.par_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task() {
+        let pool = Pool::with_workers(3);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_par_map_is_serial_and_correct() {
+        let pool = Pool::with_workers(4);
+        let out = pool.par_map((0..8).collect::<Vec<i32>>(), |i| {
+            assert!(in_worker());
+            // The inner pool must degrade to inline serial execution.
+            let inner = Pool::with_workers(16).par_map((0..4).collect::<Vec<i32>>(), |j| i + j);
+            inner.iter().sum::<i32>()
+        });
+        assert_eq!(out, (0..8).map(|i| 4 * i + 6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let pool = Pool::with_workers(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map((0..8).collect::<Vec<i32>>(), |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn env_override_controls_worker_count() {
+        std::env::set_var("MEMLSTM_THREADS", "3");
+        assert_eq!(Pool::new().workers(), 3);
+        std::env::set_var("MEMLSTM_THREADS", "not-a-number");
+        assert!(Pool::new().workers() >= 1);
+        std::env::remove_var("MEMLSTM_THREADS");
+        assert!(Pool::new().workers() >= 1);
+    }
+
+    #[test]
+    fn with_workers_clamps_to_one() {
+        assert_eq!(Pool::with_workers(0).workers(), 1);
+    }
+}

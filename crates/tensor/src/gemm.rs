@@ -4,11 +4,32 @@
 //! The free functions here are the numerical core of the paper's kernels
 //! (Algorithm 1 and Algorithm 3); the GPU cost of executing them is modelled
 //! separately by the `gpu-sim` crate from kernel descriptors.
+//!
+//! [`sgemv`] and [`sgemv_masked_reference`] are the *reference* kernels:
+//! simple row-at-a-time loops whose accumulation order defines the
+//! numerics every faster path must reproduce bit-for-bit. The fast paths
+//! live in [`crate::packed`] (row-panel SGEMV and the gather-based masked
+//! kernel) and in the cache-blocked [`sgemm`] below; the property tests in
+//! this crate pin each fast kernel to its reference bitwise.
 
 use crate::matrix::Matrix;
+use crate::packed::sgemv_masked_gather;
 use crate::vector::Vector;
 
+/// Rows per register block of the cache-blocked [`sgemm`].
+const MC: usize = 32;
+/// Depth (k) of one packed B panel.
+const KC: usize = 64;
+/// Width (columns) of one packed B panel. `KC * NC * 4` bytes ≈ 32 KiB,
+/// sized so a panel stays resident in L1/L2 while every A-row block
+/// streams over it.
+const NC: usize = 128;
+
 /// Matrix-vector product `a * x` (the paper's `Sgemv(U, h)` kernel body).
+///
+/// This is the reference row-at-a-time kernel. When the same matrix is
+/// applied repeatedly (the recurrent LSTM shape), pack it once with
+/// [`crate::PackedMatrix`] — same bits, much faster.
 ///
 /// # Panics
 /// Panics if `x.len() != a.cols()`.
@@ -25,6 +46,13 @@ pub fn sgemv(a: &Matrix, x: &Vector) -> Vector {
 
 /// Matrix-matrix product `a * b` (the paper's `Sgemm` kernel body).
 ///
+/// Cache-blocked MC×KC×NC tiling: each KC×NC block of `b` is packed into
+/// a contiguous panel once and reused by every row block of `a`, so the
+/// panel stays cache-resident instead of `b` being re-streamed row-major
+/// for every output row. Each output element still accumulates over `k`
+/// in ascending order into a single accumulator, so the result is
+/// bit-identical to the naive triple loop.
+///
 /// # Panics
 /// Panics if `b.rows() != a.cols()`.
 pub fn sgemm(a: &Matrix, b: &Matrix) -> Matrix {
@@ -35,17 +63,30 @@ pub fn sgemm(a: &Matrix, b: &Matrix) -> Matrix {
         a.cols(),
         b.rows()
     );
-    let mut out = Matrix::zeros(a.rows(), b.cols());
-    for r in 0..a.rows() {
-        let arow = a.row(r);
-        for (k, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let mut bpanel = vec![0.0f32; k.min(KC) * n.min(NC)];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for kk in 0..kc {
+                let brow = &b.row(pc + kk)[jc..jc + nc];
+                bpanel[kk * nc..(kk + 1) * nc].copy_from_slice(brow);
             }
-            let brow = b.row(k);
-            let orow = out.row_mut(r);
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                for r in ic..ic + mc {
+                    let arow = &a.row(r)[pc..pc + kc];
+                    let orow = &mut out.row_mut(r)[jc..jc + nc];
+                    for (kk, &av) in arow.iter().enumerate() {
+                        let bp = &bpanel[kk * nc..(kk + 1) * nc];
+                        for (o, &bv) in orow.iter_mut().zip(bp) {
+                            *o += av * bv;
+                        }
+                    }
+                }
             }
         }
     }
@@ -59,9 +100,31 @@ pub fn sgemm(a: &Matrix, b: &Matrix) -> Matrix {
 /// of Algorithm 3: rows listed in the skip list `R` are neither loaded nor
 /// computed, and the corresponding outputs are approximated downstream.
 ///
+/// Implemented via [`crate::packed::sgemv_masked_gather`]: active rows are
+/// gathered into a dense panel and run through the branch-free panel
+/// micro-kernel, bit-identical to [`sgemv_masked_reference`].
+///
 /// # Panics
 /// Panics if `x.len() != a.cols()` or `active.len() != a.rows()`.
 pub fn sgemv_masked(a: &Matrix, x: &Vector, active: &[bool], skipped_value: f32) -> Vector {
+    assert_eq!(x.len(), a.cols(), "sgemv_masked: x length mismatch");
+    assert_eq!(active.len(), a.rows(), "sgemv_masked: mask length mismatch");
+    sgemv_masked_gather(a, x, active, skipped_value)
+}
+
+/// Naive per-row reference for [`sgemv_masked`]: a branch per row, one
+/// [`dot_row`]-ordered dot product per active row. Kept as the numerics
+/// oracle for the gather kernel's property tests and as the "naive"
+/// baseline in the `gemm_kernels` bench.
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()` or `active.len() != a.rows()`.
+pub fn sgemv_masked_reference(
+    a: &Matrix,
+    x: &Vector,
+    active: &[bool],
+    skipped_value: f32,
+) -> Vector {
     assert_eq!(x.len(), a.cols(), "sgemv_masked: x length mismatch");
     assert_eq!(active.len(), a.rows(), "sgemv_masked: mask length mismatch");
     Vector::from_fn(a.rows(), |r| {
@@ -91,9 +154,6 @@ pub fn sgemm_masked(a: &Matrix, b: &Matrix, active: &[bool], skipped_value: f32)
         let orow = out.row_mut(r);
         orow.fill(0.0);
         for (k, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let brow = b.row(k);
             for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                 *o += av * bv;
@@ -127,9 +187,11 @@ pub fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
     2 * m as u64 * k as u64 * n as u64
 }
 
-fn dot_row(row: &[f32], x: &[f32]) -> f32 {
+pub(crate) fn dot_row(row: &[f32], x: &[f32]) -> f32 {
     // Unrolled-by-4 accumulation: measurably faster than a naive fold and
-    // deterministic across runs (fixed association order).
+    // deterministic across runs (fixed association order). This association
+    // — four phase accumulators summed left-to-right, then a sequential
+    // tail — is the numerics contract every fast kernel reproduces.
     let mut acc0 = 0.0f32;
     let mut acc1 = 0.0f32;
     let mut acc2 = 0.0f32;
@@ -193,6 +255,35 @@ mod tests {
     }
 
     #[test]
+    fn sgemm_blocked_matches_naive_bitwise() {
+        // Shapes chosen to straddle every block boundary (MC=32, KC=64,
+        // NC=128), including exact multiples and ragged tails.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (5, 7, 3),
+            (32, 64, 128),
+            (70, 130, 33),
+            (33, 65, 129),
+        ] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 23) as f32 / 5.0 - 2.0);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 11) % 19) as f32 / 4.0 - 2.0);
+            let fast = sgemm(&a, &b);
+            let mut naive = Matrix::zeros(m, n);
+            for r in 0..m {
+                for kk in 0..k {
+                    let av = a.row(r)[kk];
+                    for j in 0..n {
+                        naive.row_mut(r)[j] += av * b.row(kk)[j];
+                    }
+                }
+            }
+            for (f, nv) in fast.as_slice().iter().zip(naive.as_slice()) {
+                assert_eq!(f.to_bits(), nv.to_bits(), "{m}x{k}x{n} diverged");
+            }
+        }
+    }
+
+    #[test]
     fn masked_gemv_skips_rows() {
         let a = mat(3, 2, &[1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
         let x = Vector::from(vec![1.0, 1.0]);
@@ -206,6 +297,17 @@ mod tests {
         let x = Vector::from(vec![1.0, -1.0, 2.0]);
         let active = vec![true; 3];
         assert_eq!(sgemv_masked(&a, &x, &active, 0.0), sgemv(&a, &x));
+    }
+
+    #[test]
+    fn masked_gemv_matches_reference() {
+        let a = Matrix::from_fn(21, 17, |r, c| ((r * 5 + c * 3) % 13) as f32 / 3.0 - 2.0);
+        let x = Vector::from_fn(17, |i| (i % 7) as f32 / 2.0 - 1.5);
+        let active: Vec<bool> = (0..21).map(|r| r % 3 != 1).collect();
+        assert_eq!(
+            sgemv_masked(&a, &x, &active, -1.0),
+            sgemv_masked_reference(&a, &x, &active, -1.0)
+        );
     }
 
     #[test]

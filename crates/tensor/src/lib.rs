@@ -27,11 +27,13 @@ pub mod error;
 pub mod gemm;
 pub mod init;
 pub mod matrix;
+pub mod packed;
 pub mod stats;
 pub mod vector;
 
 pub use activation::{hard_sigmoid, sigmoid, tanh, Activation, SENSITIVE_HI, SENSITIVE_LO};
 pub use error::{ShapeError, TensorResult};
 pub use matrix::Matrix;
+pub use packed::PackedMatrix;
 pub use stats::{Histogram, RunningStats};
 pub use vector::Vector;

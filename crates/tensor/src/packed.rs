@@ -1,0 +1,308 @@
+//! Packed row-panel kernels: the cache- and SIMD-friendly layout behind
+//! the fast `Sgemv` paths.
+//!
+//! A [`PackedMatrix`] stores the rows of a row-major [`Matrix`] in panels
+//! of [`MR`] rows with the columns *interleaved*: panel `p` holds, for
+//! each column `k`, the `MR` values `a[p*MR + 0..MR][k]` contiguously.
+//! A matrix-vector product then walks each panel once, broadcasting one
+//! `x[k]` across `MR` independent per-row accumulators — a loop the
+//! compiler vectorizes across rows *without reassociating any float sum*,
+//! because every lane is a separate output element.
+//!
+//! Bit-exactness contract: every kernel here accumulates each output row
+//! in exactly the association order of [`crate::gemm::sgemv`]'s
+//! row-at-a-time reference (four phase accumulators over the columns,
+//! summed left-to-right, then a sequential tail). `PackedMatrix::gemv`
+//! is therefore **bit-identical** to the reference kernel — the packed
+//! layout buys throughput, never different numerics. The property tests
+//! in `tests/properties.rs` pin this down.
+//!
+//! Packing costs one pass over the matrix, so it pays off when the same
+//! matrix is applied many times — exactly the LSTM shape, where the
+//! recurrent `U` matrices are applied at every timestep of every
+//! sequence. `lstm::CellWeights` packs its weights once (lazily) and
+//! reuses the panels for every plan execution.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use std::cell::RefCell;
+
+/// Rows per packed panel (the register-blocking height of the kernels).
+pub const MR: usize = 8;
+
+/// A matrix re-laid out into [`MR`]-row column-interleaved panels.
+///
+/// See the module docs for the layout and the bit-exactness contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    /// `ceil(rows / MR)` panels of `MR * cols` values; lanes past the last
+    /// row are zero padding (they are computed and discarded).
+    data: Vec<f32>,
+}
+
+impl PackedMatrix {
+    /// Packs a row-major matrix into row panels. One pass over `a`.
+    pub fn pack(a: &Matrix) -> Self {
+        let (rows, cols) = a.shape();
+        let panels = rows.div_ceil(MR);
+        let mut data = vec![0.0f32; panels * MR * cols];
+        for p in 0..panels {
+            let base = p * MR * cols;
+            for lane in 0..MR.min(rows - p * MR) {
+                let row = a.row(p * MR + lane);
+                for (k, &v) in row.iter().enumerate() {
+                    data[base + k * MR + lane] = v;
+                }
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product, bit-identical to
+    /// [`crate::gemm::sgemv`] on the unpacked matrix.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn gemv(&self, x: &Vector) -> Vector {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "PackedMatrix::gemv: x length {} != cols {}",
+            x.len(),
+            self.cols
+        );
+        let mut y = Vector::zeros(self.rows);
+        self.gemv_into(x.as_slice(), y.as_mut_slice());
+        y
+    }
+
+    /// [`gemv`](Self::gemv) writing into a caller-provided slice.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn gemv_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "PackedMatrix::gemv_into: x length");
+        assert_eq!(out.len(), self.rows, "PackedMatrix::gemv_into: out length");
+        let panels = self.rows.div_ceil(MR);
+        for p in 0..panels {
+            let panel = &self.data[p * MR * self.cols..(p + 1) * MR * self.cols];
+            let sum = panel_gemv(panel, self.cols, x);
+            let live = MR.min(self.rows - p * MR);
+            out[p * MR..p * MR + live].copy_from_slice(&sum[..live]);
+        }
+    }
+}
+
+/// One panel's matrix-vector micro-kernel: `MR` rows at once, four phase
+/// accumulators per row in the reference association order.
+fn panel_gemv(panel: &[f32], cols: usize, x: &[f32]) -> [f32; MR] {
+    let chunks = cols / 4;
+    let mut acc = [[0.0f32; MR]; 4];
+    for i in 0..chunks {
+        let base = i * 4 * MR;
+        for (phase, accp) in acc.iter_mut().enumerate() {
+            let xv = x[i * 4 + phase];
+            let col = &panel[base + phase * MR..base + (phase + 1) * MR];
+            for (a, &c) in accp.iter_mut().zip(col) {
+                *a += c * xv;
+            }
+        }
+    }
+    let mut sum = [0.0f32; MR];
+    for (r, s) in sum.iter_mut().enumerate() {
+        *s = ((acc[0][r] + acc[1][r]) + acc[2][r]) + acc[3][r];
+    }
+    for (k, &xv) in x.iter().enumerate().skip(chunks * 4) {
+        let col = &panel[k * MR..(k + 1) * MR];
+        for (s, &c) in sum.iter_mut().zip(col) {
+            *s += c * xv;
+        }
+    }
+    sum
+}
+
+thread_local! {
+    /// Scratch panel for the gather-based masked kernel, reused across
+    /// calls so the hot per-timestep path never allocates.
+    static GATHER_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Row-masked matrix-vector product via *gather*: the skip list's active
+/// rows are gathered into a dense [`MR`]-row interleaved panel, the
+/// branch-free panel micro-kernel runs over it, and the results scatter
+/// back to their row positions; skipped rows produce `skipped_value`.
+///
+/// Bit-identical to the reference masked kernel (each active row is the
+/// same dot product in the same association order), and to the dense
+/// kernels when every row is active.
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()` or `active.len() != a.rows()`.
+pub fn sgemv_masked_gather(a: &Matrix, x: &Vector, active: &[bool], skipped_value: f32) -> Vector {
+    assert_eq!(x.len(), a.cols(), "sgemv_masked_gather: x length mismatch");
+    assert_eq!(
+        active.len(),
+        a.rows(),
+        "sgemv_masked_gather: mask length mismatch"
+    );
+    let cols = a.cols();
+    let mut y = Vector::filled(a.rows(), skipped_value);
+    let out = y.as_mut_slice();
+    GATHER_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        scratch.clear();
+        scratch.resize(MR * cols, 0.0);
+        let mut gathered: [usize; MR] = [0; MR];
+        let mut rows: [&[f32]; MR] = [&[]; MR];
+        let mut lanes = 0usize;
+        let mut flush = |scratch: &mut [f32],
+                         gathered: &[usize; MR],
+                         rows: &mut [&[f32]; MR],
+                         lanes: &mut usize| {
+            if *lanes == 0 {
+                return;
+            }
+            // Transpose the gathered rows into the interleaved panel with
+            // the column index outermost: every store is sequential in the
+            // scratch buffer, and the reads walk `lanes` parallel streams.
+            if *lanes == MR {
+                for (k, chunk) in scratch.chunks_exact_mut(MR).enumerate() {
+                    for (slot, row) in chunk.iter_mut().zip(rows.iter()) {
+                        *slot = row[k];
+                    }
+                }
+            } else {
+                // Partial panel (at most once per call): pad dead lanes
+                // with zeros so the micro-kernel's extra work is
+                // well-defined (the results are discarded).
+                for (k, chunk) in scratch.chunks_exact_mut(MR).enumerate() {
+                    for (slot, row) in chunk.iter_mut().zip(rows.iter().take(*lanes)) {
+                        *slot = row[k];
+                    }
+                    chunk[*lanes..].fill(0.0);
+                }
+            }
+            let sum = panel_gemv(scratch, cols, x.as_slice());
+            for (lane, &r) in gathered.iter().enumerate().take(*lanes) {
+                out[r] = sum[lane];
+            }
+            *lanes = 0;
+        };
+        for (r, &is_active) in active.iter().enumerate() {
+            if !is_active {
+                continue;
+            }
+            rows[lanes] = a.row(r);
+            gathered[lanes] = r;
+            lanes += 1;
+            if lanes == MR {
+                flush(&mut scratch, &gathered, &mut rows, &mut lanes);
+            }
+        }
+        flush(&mut scratch, &gathered, &mut rows, &mut lanes);
+    });
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{sgemv, sgemv_masked_reference};
+
+    fn pseudo_matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add((c as u32).wrapping_mul(40503))
+                .wrapping_add(seed);
+            (h % 2000) as f32 / 700.0 - 1.4
+        })
+    }
+
+    fn pseudo_vector(len: usize, seed: u32) -> Vector {
+        Vector::from_fn(len, |i| {
+            let h = (i as u32).wrapping_mul(97_003).wrapping_add(seed);
+            (h % 1000) as f32 / 350.0 - 1.3
+        })
+    }
+
+    #[test]
+    fn packed_gemv_bit_identical_to_reference() {
+        // Sizes straddling panel and chunk boundaries.
+        for (rows, cols) in [
+            (1, 1),
+            (7, 5),
+            (8, 8),
+            (9, 12),
+            (24, 16),
+            (33, 31),
+            (96, 96),
+        ] {
+            let a = pseudo_matrix(rows, cols, 11);
+            let x = pseudo_vector(cols, 7);
+            let packed = PackedMatrix::pack(&a);
+            assert_eq!(packed.rows(), rows);
+            assert_eq!(packed.cols(), cols);
+            let fast = packed.gemv(&x);
+            let reference = sgemv(&a, &x);
+            for (f, r) in fast.iter().zip(reference.iter()) {
+                assert_eq!(f.to_bits(), r.to_bits(), "{rows}x{cols} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_masked_bit_identical_to_reference() {
+        for (rows, cols) in [(5, 3), (16, 16), (33, 20), (96, 96)] {
+            let a = pseudo_matrix(rows, cols, 3);
+            let x = pseudo_vector(cols, 5);
+            for skip_mod in [2usize, 3, 5] {
+                let active: Vec<bool> = (0..rows).map(|r| r % skip_mod != 0).collect();
+                let fast = sgemv_masked_gather(&a, &x, &active, -7.5);
+                let reference = sgemv_masked_reference(&a, &x, &active, -7.5);
+                for (f, r) in fast.iter().zip(reference.iter()) {
+                    assert_eq!(f.to_bits(), r.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_masked_full_mask_equals_dense() {
+        let a = pseudo_matrix(40, 24, 1);
+        let x = pseudo_vector(24, 2);
+        let full = vec![true; 40];
+        let masked = sgemv_masked_gather(&a, &x, &full, 0.0);
+        let dense = PackedMatrix::pack(&a).gemv(&x);
+        for (m, d) in masked.iter().zip(dense.iter()) {
+            assert_eq!(m.to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_masked_empty_mask_is_all_skipped() {
+        let a = pseudo_matrix(9, 4, 8);
+        let x = pseudo_vector(4, 9);
+        let none = vec![false; 9];
+        let y = sgemv_masked_gather(&a, &x, &none, 42.0);
+        assert!(y.iter().all(|&v| v == 42.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn packed_gemv_shape_mismatch_panics() {
+        PackedMatrix::pack(&Matrix::zeros(4, 3)).gemv(&Vector::zeros(2));
+    }
+}

@@ -1,0 +1,88 @@
+//! Parallelism-determinism integration tests: every parallel fan-out in
+//! the evaluation pipeline must be *bit-identical* to its serial
+//! counterpart, for any worker count. The pool's ordered `par_map` plus
+//! strictly in-order merging of per-task results is the mechanism; these
+//! tests pin the end-to-end guarantee at the `Evaluator` level, where
+//! gpu-sim pricing, accuracy pooling, and the offline threshold search
+//! all meet.
+
+use gpu_sim::GpuConfig;
+use memlstm::thresholds::{
+    select_ao, select_bpa, threshold_sets, upper_alpha_inter_pooled, Evaluator,
+};
+use pool::Pool;
+use workloads::{Benchmark, Workload};
+
+const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn evaluator() -> Evaluator {
+    let workload = Workload::generate(Benchmark::Mr, 4, 0x5EED);
+    Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(2, 4)
+}
+
+/// `evaluate` fans eval sequences out across workers; timings, energies,
+/// DRAM traffic, accuracies, and per-layer skip statistics must not
+/// depend on the worker count.
+#[test]
+fn evaluate_is_bit_identical_across_worker_counts() {
+    let mut ev = evaluator().with_pool(Pool::with_workers(1));
+    let sets = threshold_sets(ev.upper_alpha_inter(), ev.upper_alpha_intra(), 5);
+    let serial: Vec<_> = sets
+        .iter()
+        .map(|set| ev.evaluate(ev.combined_config(set)))
+        .collect();
+    for workers in WORKER_COUNTS {
+        ev = ev.with_pool(Pool::with_workers(workers));
+        for (set, expected) in sets.iter().zip(&serial) {
+            let (perf, accuracy, stats) = ev.evaluate(ev.combined_config(set));
+            let (eperf, eacc, estats) = expected;
+            assert_eq!(perf.time_s.to_bits(), eperf.time_s.to_bits());
+            assert_eq!(perf.energy_j.to_bits(), eperf.energy_j.to_bits());
+            assert_eq!(perf.dram_bytes, eperf.dram_bytes);
+            assert_eq!(accuracy.to_bits(), eacc.to_bits());
+            assert_eq!(&stats, estats, "stats diverged at {workers} workers");
+        }
+    }
+}
+
+/// The full tradeoff sweep (threshold sets in parallel, sequences in
+/// parallel inside each — the inner fan-out degrades to serial on worker
+/// threads) returns the same points in the same order, and therefore the
+/// same AO / BPA operating-point selections.
+#[test]
+fn sweep_is_bit_identical_across_worker_counts() {
+    let mut ev = evaluator().with_pool(Pool::with_workers(1));
+    let serial = ev.sweep(5);
+    for workers in WORKER_COUNTS {
+        ev = ev.with_pool(Pool::with_workers(workers));
+        let parallel = ev.sweep(5);
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.set, s.set);
+            assert_eq!(p.speedup.to_bits(), s.speedup.to_bits());
+            assert_eq!(p.accuracy.to_bits(), s.accuracy.to_bits());
+            assert_eq!(p.energy_saving.to_bits(), s.energy_saving.to_bits());
+            assert_eq!(p.power_saving.to_bits(), s.power_saving.to_bits());
+        }
+        assert_eq!(select_ao(&parallel).set, select_ao(&serial).set);
+        assert_eq!(select_bpa(&parallel).set, select_bpa(&serial).set);
+    }
+}
+
+/// The offline upper-threshold search fans relevance probes out across
+/// workers; the resulting α upper limit seeds every sweep, so it must be
+/// worker-count-independent too.
+#[test]
+fn offline_upper_limit_is_bit_identical_across_worker_counts() {
+    let workload = Workload::generate(Benchmark::Mr, 4, 0x5EED);
+    let mts = 4;
+    let serial = upper_alpha_inter_pooled(&workload, mts, Pool::with_workers(1));
+    for workers in WORKER_COUNTS {
+        let parallel = upper_alpha_inter_pooled(&workload, mts, Pool::with_workers(workers));
+        assert_eq!(
+            parallel.to_bits(),
+            serial.to_bits(),
+            "upper alpha diverged at {workers} workers"
+        );
+    }
+}

@@ -161,8 +161,14 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `cargo bench -- --test` passes both `--bench` and `--test`;
+        // like upstream, `--test` wins and forces smoke mode (each bench
+        // runs once, nothing is measured) so CI can exercise the harnesses
+        // cheaply.
+        let args: Vec<String> = std::env::args().collect();
+        let has = |flag: &str| args.iter().any(|a| a == flag);
         Self {
-            measure: std::env::args().any(|a| a == "--bench"),
+            measure: has("--bench") && !has("--test"),
         }
     }
 }
