@@ -1,0 +1,102 @@
+//! Standalone profiler: runs one (benchmark, scheme, threshold-set)
+//! combination under the `gpu-sim` profiler and exports a Chrome trace.
+//!
+//! ```text
+//! cargo run -p mf-bench --release --bin prof -- <benchmark> <scheme> [set-index] [--fast] [--out FILE]
+//! ```
+//!
+//! * `benchmark`: `imdb mr babi snli ptb mt`
+//! * `scheme`: `baseline inter intra combined`
+//! * `set-index`: threshold-set index in the 11-point sweep (default 5,
+//!   the middle set; ignored for `baseline`)
+//! * `--fast`: tiny evaluation budgets (smoke run)
+//! * `--out FILE`: trace path (default `prof_<benchmark>_<scheme>.trace.json`)
+//!
+//! The flame summary and pool utilization go to stdout; the Chrome trace
+//! (loadable in `chrome://tracing` / Perfetto) goes to the output file.
+
+use bench_harness::{profiling, session, Session};
+use std::env;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: prof <benchmark> <scheme> [set-index] [--fast] [--out FILE]\n\
+         benchmarks: imdb mr babi snli ptb mt\n\
+         schemes:    baseline inter intra combined"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => path.clone(),
+            None => usage(),
+        });
+    let positional: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--out" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+    let (bench_arg, scheme_arg) = match (positional.first(), positional.get(1)) {
+        (Some(b), Some(s)) => (b.as_str(), s.as_str()),
+        _ => usage(),
+    };
+    let benchmark = profiling::parse_benchmark(bench_arg).unwrap_or_else(|| {
+        eprintln!("unknown benchmark '{bench_arg}'");
+        usage()
+    });
+    let scheme = profiling::Scheme::parse(scheme_arg).unwrap_or_else(|| {
+        eprintln!("unknown scheme '{scheme_arg}'");
+        usage()
+    });
+    let set_index = match positional.get(2) {
+        Some(s) => s.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("set-index must be an integer, got '{s}'");
+            usage()
+        }),
+        None => session::NUM_SETS / 2,
+    };
+    if set_index >= session::NUM_SETS {
+        eprintln!(
+            "set-index {set_index} out of range (sweep has {} sets)",
+            session::NUM_SETS
+        );
+        exit(2);
+    }
+
+    let mut sess = Session::new(fast);
+    let run = profiling::profile_run(&mut sess, benchmark, scheme, set_index);
+    print!("{}", run.summary());
+
+    let json = run.chrome_trace().to_json();
+    match gpu_sim::validate_chrome_trace(&json) {
+        Ok(n) => println!("chrome trace validated: {n} events"),
+        Err(e) => {
+            eprintln!("chrome trace INVALID: {e}");
+            exit(1);
+        }
+    }
+    let path = out.unwrap_or_else(|| format!("prof_{benchmark}_{scheme}.trace.json"));
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("failed to write {path}: {e}");
+        exit(1);
+    }
+    println!("wrote {path}");
+}

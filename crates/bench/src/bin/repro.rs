@@ -1,16 +1,23 @@
 //! The reproduction driver: regenerates every table and figure.
 //!
 //! ```text
-//! cargo run -p mf-bench --release --bin repro -- <experiment> [--fast]
+//! cargo run -p mf-bench --release --bin repro -- <experiment> [--fast] [--profile]
 //! cargo run -p mf-bench --release --bin repro -- all
 //! ```
 //!
 //! Experiments: `table1 table2 fig4 fig6 fig9 fig14 fig15 fig16 fig17
 //! fig18 fig19 reload overheads all`. `--fast` restricts to the two
 //! cheapest benchmarks with tiny budgets (smoke run).
+//!
+//! `--profile` additionally profiles each benchmark (baseline + combined,
+//! middle threshold set) after the experiments finish and writes a
+//! combined Chrome trace to `repro_profile.trace.json`. Profiling is
+//! observation-only: stdout stays byte-identical with or without the
+//! flag (flame summaries go to stderr).
 
 use bench_harness::{
-    ablations, figures_memory, figures_perf, figures_tradeoff, figures_user, tables, Session,
+    ablations, figures_memory, figures_perf, figures_tradeoff, figures_user, profiling, session,
+    tables, Session,
 };
 use std::env;
 
@@ -19,6 +26,7 @@ type Experiment = (&'static str, fn(&mut Session) -> String);
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let profile = args.iter().any(|a| a == "--profile");
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -67,7 +75,7 @@ fn main() {
             } else {
                 eprintln!("unknown experiment '{other}'");
                 eprintln!(
-                    "usage: repro <{}|all> [--fast]",
+                    "usage: repro <{}|all> [--fast] [--profile]",
                     experiments
                         .iter()
                         .map(|(n, _)| *n)
@@ -77,5 +85,40 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if profile {
+        write_profile(&mut session);
+    }
+}
+
+/// Profiles every session benchmark (baseline + combined at the middle
+/// threshold set) and writes one combined Chrome trace. Everything here
+/// goes to stderr or the trace file — stdout is already final.
+fn write_profile(session: &mut Session) {
+    let mut trace = gpu_sim::ChromeTrace::new();
+    let mut pid = 0;
+    for benchmark in session.benchmarks() {
+        for scheme in [profiling::Scheme::Baseline, profiling::Scheme::Combined] {
+            let run = profiling::profile_run(session, benchmark, scheme, session::NUM_SETS / 2);
+            eprintln!("{}", run.summary());
+            run.profiler.add_to_chrome(
+                &mut trace,
+                pid,
+                &format!("{benchmark} {scheme} (simulated GPU time)"),
+            );
+            profiling::add_pool_to_chrome(&mut trace, pid + 1, &run.pool);
+            pid += 2;
+        }
+    }
+    let json = trace.to_json();
+    match gpu_sim::validate_chrome_trace(&json) {
+        Ok(n) => eprintln!("[profile] chrome trace validated: {n} events"),
+        Err(e) => eprintln!("[profile] chrome trace INVALID: {e}"),
+    }
+    let path = "repro_profile.trace.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[profile] wrote {path}"),
+        Err(e) => eprintln!("[profile] failed to write {path}: {e}"),
     }
 }

@@ -15,10 +15,12 @@ pub mod figures_memory;
 pub mod figures_perf;
 pub mod figures_tradeoff;
 pub mod figures_user;
+pub mod profiling;
 pub mod session;
 pub mod table;
 pub mod tables;
 
 pub use experiments::{budget_for, evaluator_for, EvalBudget};
+pub use profiling::{profile_run, ProfileRun, Scheme};
 pub use session::{Level, Session};
 pub use table::TextTable;

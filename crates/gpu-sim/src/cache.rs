@@ -113,24 +113,40 @@ impl RegionCache {
 
         if bytes > self.capacity {
             // Streaming thrash: the access wipes the cache and leaves the
-            // region effectively non-resident for sequential reuse (its
-            // resident tail never matches the next pass's head).
+            // region effectively non-resident for sequential reuse. Any
+            // previously resident prefix is gone too by the time the
+            // sequential pass comes back around to it (cyclic LRU eviction
+            // makes the region's head bytes the victims of its own tail),
+            // so the whole access misses.
             self.resident.clear();
             return AccessOutcome {
-                hit_bytes: prev_resident.min(bytes),
-                miss_bytes: bytes - prev_resident.min(bytes),
+                hit_bytes: 0,
+                miss_bytes: bytes,
             };
         }
 
+        // A fitting access hits on the resident prefix; the lines beyond
+        // `bytes` stay resident (line-granular LRU keeps them warm), so
+        // residency grows to `max(prev, bytes)` rather than collapsing to
+        // the size of the latest access.
         let hit = prev_resident.min(bytes);
         let miss = bytes - hit;
-        // Evict LRU regions until the new region fits.
+        let new_resident = prev_resident.max(bytes).min(self.capacity);
+        // Evict LRU regions until the region's residency fits. The region
+        // itself was already retained out above, so `resident_bytes()`
+        // counts only the *other* regions here.
         let mut free = self.capacity - self.resident_bytes();
-        while free < bytes {
+        while free < new_resident {
             let (_, evicted) = self.resident.remove(0);
             free += evicted;
         }
-        self.resident.push((region, bytes));
+        self.resident.push((region, new_resident));
+        assert!(
+            self.resident_bytes() <= self.capacity,
+            "RegionCache invariant violated: resident {} > capacity {}",
+            self.resident_bytes(),
+            self.capacity
+        );
         AccessOutcome {
             hit_bytes: hit,
             miss_bytes: miss,
@@ -296,6 +312,51 @@ mod tests {
             assert_eq!(outcome.hit_bytes, 0);
             assert_eq!(outcome.miss_bytes, 4 * 1024 * 1024);
         }
+    }
+
+    #[test]
+    fn oversized_access_discards_resident_prefix() {
+        // Even a warm prefix cannot survive a streaming pass over an
+        // oversized region: by the time the next pass reaches the prefix
+        // it has been evicted by the region's own tail.
+        let mut c = RegionCache::new(1000);
+        let r = RegionId::new(1);
+        c.access(r, 400);
+        let big = c.access(r, 4000);
+        assert_eq!(big.hit_bytes, 0);
+        assert_eq!(big.miss_bytes, 4000);
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn partial_reaccess_keeps_tail_resident() {
+        // Touching a prefix of a resident region must not evict the rest
+        // of it — the line-granular model keeps the untouched lines warm.
+        let mut c = RegionCache::new(1000);
+        let r = RegionId::new(1);
+        c.access(r, 800);
+        let small = c.access(r, 100);
+        assert_eq!(small.hit_bytes, 100);
+        assert_eq!(c.resident_of(r), 800);
+        let full = c.access(r, 800);
+        assert_eq!(full.hit_bytes, 800);
+        assert_eq!(full.miss_bytes, 0);
+    }
+
+    #[test]
+    fn growing_reaccess_accounts_capacity() {
+        let mut c = RegionCache::new(1000);
+        let (a, b) = (RegionId::new(1), RegionId::new(2));
+        c.access(a, 600);
+        c.access(b, 300);
+        // b grows to 900: a must be evicted, and only b's previously
+        // resident 300 bytes can hit.
+        let grown = c.access(b, 900);
+        assert_eq!(grown.hit_bytes, 300);
+        assert_eq!(grown.miss_bytes, 600);
+        assert_eq!(c.resident_of(a), 0);
+        assert_eq!(c.resident_of(b), 900);
+        assert!(c.resident_bytes() <= 1000);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::cache::{RegionCache, RegionId, ReloadTracker};
 use crate::config::GpuConfig;
 use crate::crm::CrmModel;
 use crate::kernel::KernelDesc;
+use crate::profile::{Profiler, SpanTag};
 use crate::report::{KernelReport, SimReport};
 use crate::timing::kernel_time;
 
@@ -86,12 +87,16 @@ impl GpuDevice {
             0.0
         };
 
+        // `time_s` is defined as exactly `exec_s + overhead_s` (one
+        // addition, same operand order) so that profiler spans summing
+        // `exec_s + overhead_s` reproduce report totals bit-for-bit.
+        let overhead_s = timing.overhead_s + crm_s;
         KernelReport {
             label: desc.label.clone(),
             kind: desc.kind,
-            time_s: timing.total_s() + crm_s,
+            time_s: timing.exec_s + overhead_s,
             exec_s: timing.exec_s,
-            overhead_s: timing.overhead_s + crm_s,
+            overhead_s,
             dram_read_bytes: miss_bytes,
             dram_write_bytes: write_bytes,
             l2_hit_bytes: hit_bytes,
@@ -101,6 +106,7 @@ impl GpuDevice {
             bound: timing.bound,
             reconfigured: timing.reconfigured,
             crm_s,
+            components_s: timing.components_s,
         }
     }
 
@@ -119,6 +125,7 @@ impl GpuDevice {
             device: self,
             report,
             crm_energy_frac_time: 0.0,
+            profiler: None,
         }
     }
 
@@ -145,6 +152,7 @@ pub struct TraceSession<'d> {
     device: &'d mut GpuDevice,
     report: SimReport,
     crm_energy_frac_time: f64,
+    profiler: Option<Profiler>,
 }
 
 impl TraceSession<'_> {
@@ -155,7 +163,38 @@ impl TraceSession<'_> {
             self.crm_energy_frac_time += k.time_s;
         }
         self.report.absorb(&k);
+        if let Some(profiler) = &mut self.profiler {
+            profiler.record(&k);
+        }
         k
+    }
+
+    /// Attaches a [`Profiler`] to the session: every subsequent
+    /// [`price_kernel`](Self::price_kernel) also records a span. Profiling
+    /// is observation-only — it never changes pricing or cache state.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Profiler::new());
+        }
+    }
+
+    /// Sets the span tag applied to subsequently priced kernels (no-op
+    /// when profiling is disabled).
+    pub fn set_span_tag(&mut self, tag: SpanTag) {
+        if let Some(profiler) = &mut self.profiler {
+            profiler.set_tag(tag);
+        }
+    }
+
+    /// The attached profiler, if profiling is enabled.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Detaches and returns the profiler (call before
+    /// [`finish`](Self::finish), which consumes the session).
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.profiler.take()
     }
 
     /// The aggregate so far (energy not yet attached).

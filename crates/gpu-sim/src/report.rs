@@ -94,6 +94,9 @@ pub struct KernelReport {
     /// CRM reorganization latency charged (0 unless the kernel carries a
     /// skip list), seconds.
     pub crm_s: f64,
+    /// Bound-resource component times `(compute, dram, smem)` in seconds,
+    /// as computed by the timing model before taking the max.
+    pub components_s: (f64, f64, f64),
 }
 
 /// Per-kernel-kind aggregate statistics.
@@ -281,6 +284,7 @@ mod tests {
             bound: BoundResource::OffChip,
             reconfigured: false,
             crm_s: 0.0,
+            components_s: (0.0, time, 0.0),
         }
     }
 

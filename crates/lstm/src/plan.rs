@@ -37,7 +37,7 @@ use crate::regions::{NetworkRegions, RegionAllocator};
 use crate::schedule::{
     ew_kernel, head_kernel, u_sgemv_kernel, wx_sgemm_kernel, LayerRun, NetworkRun, F32,
 };
-use gpu_sim::{KernelDesc, KernelKind, RegionId, TraceSession};
+use gpu_sim::{KernelDesc, KernelKind, RegionId, SpanTag, TraceSession};
 use tensor::Vector;
 
 /// Receives kernels as the runtime "launches" them.
@@ -58,6 +58,13 @@ pub trait KernelSink {
 
     /// Called before the post-layer (head) kernels.
     fn begin_tail(&mut self) {}
+
+    /// Announces the plan phase of the kernels that follow. Sinks that
+    /// profile (e.g. a [`TraceSession`] with profiling enabled) attach the
+    /// tag to subsequent spans; everyone else inherits this no-op.
+    fn tag(&mut self, tag: SpanTag) {
+        let _ = tag;
+    }
 
     /// Receives one launched kernel.
     fn emit(&mut self, kernel: KernelDesc);
@@ -83,6 +90,10 @@ impl KernelSink for Vec<KernelDesc> {
 /// Prices each kernel incrementally on the session's device as it is
 /// launched — the streaming path: no trace is ever materialized.
 impl KernelSink for TraceSession<'_> {
+    fn tag(&mut self, tag: SpanTag) {
+        self.set_span_tag(tag);
+    }
+
     fn emit(&mut self, kernel: KernelDesc) {
         self.price_kernel(&kernel);
     }
@@ -342,6 +353,9 @@ pub enum TissueKernels {
 pub struct TissuePlan {
     /// Timestep indices of the member cells, in batch order.
     pub cells: Vec<usize>,
+    /// Sub-layer index of each member cell (parallel to `cells`); used to
+    /// attribute profiler spans to the division that produced the tissue.
+    pub sublayers: Vec<usize>,
     /// Context source per member cell (parallel to `cells`).
     pub prev: Vec<PrevSource>,
     /// The tissue's kernels.
@@ -696,15 +710,17 @@ impl PlanRuntime {
         let mut current: Vec<Vector> = xs.to_vec();
         for (l, (lp, layer)) in layer_plans.iter().zip(net.layers()).enumerate() {
             sink.begin_layer(l);
+            sink.tag(SpanTag::wx(l));
             sink.emit(lp.wx.clone());
             let wx = layer.precompute_wx(&current);
             let mut skips = SkipStats::default();
-            let hs = self.execute_lstm_body(&lp.body, layer.weights(), &wx, sink, &mut skips);
+            let hs = self.execute_lstm_body(l, &lp.body, layer.weights(), &wx, sink, &mut skips);
             current = hs.clone();
             layer_hs.push(hs);
             layer_skips.push(skips);
         }
         sink.begin_tail();
+        sink.tag(SpanTag::head());
         sink.emit(plan.head.clone());
         let logits = net.apply_head(current.last().expect("non-empty sequence"));
         PlanOutput {
@@ -725,11 +741,13 @@ impl PlanRuntime {
         wx: &[GatePreacts],
     ) -> Vec<Vector> {
         let mut skips = SkipStats::default();
-        self.execute_lstm_body(body, weights, wx, &mut NullSink, &mut skips)
+        // Layer index 0 is a placeholder: the NullSink drops the tags.
+        self.execute_lstm_body(0, body, weights, wx, &mut NullSink, &mut skips)
     }
 
     fn execute_lstm_body(
         &mut self,
+        layer: usize,
         body: &LayerBody,
         weights: &CellWeights,
         wx: &[GatePreacts],
@@ -743,7 +761,8 @@ impl PlanRuntime {
                 let mut h = Vector::zeros(hidden);
                 let mut c = Vector::zeros(hidden);
                 let mut hs = Vec::with_capacity(wx.len());
-                for (cell, pre) in cells.iter().zip(wx) {
+                for (t, (cell, pre)) in cells.iter().zip(wx).enumerate() {
+                    sink.tag(SpanTag::cells(layer, t));
                     sink.emit(cell.sgemv.clone());
                     let (h_next, c_next) = weights.step(pre, &h, &c);
                     h = h_next;
@@ -758,7 +777,8 @@ impl PlanRuntime {
                 let mut h = Vector::zeros(hidden);
                 let mut c = Vector::zeros(hidden);
                 let mut hs = Vec::with_capacity(wx.len());
-                for (cell, pre) in cells.iter().zip(wx) {
+                for (t, (cell, pre)) in cells.iter().zip(wx).enumerate() {
+                    sink.tag(SpanTag::cells(layer, t));
                     sink.emit(cell.uo.clone());
                     sink.emit(cell.gate_ew.clone());
                     let o = weights.output_gate(&pre.o, &h);
@@ -782,6 +802,7 @@ impl PlanRuntime {
                 predicted_c,
                 tissues,
             } => {
+                sink.tag(SpanTag::offline(layer));
                 sink.emit(search.clone());
                 if let Some(k) = link {
                     sink.emit(k.clone());
@@ -791,7 +812,8 @@ impl PlanRuntime {
                 self.h_slots.resize(n, None);
                 self.c_slots.clear();
                 self.c_slots.resize(n, None);
-                for tp in tissues {
+                for (k, tp) in tissues.iter().enumerate() {
+                    sink.tag(SpanTag::tissue(layer, k, tp.sublayers.first().copied()));
                     let prev: Vec<(Vector, Vector)> = tp
                         .cells
                         .iter()
@@ -898,15 +920,18 @@ impl PlanRuntime {
         let mut current: Vec<Vector> = xs.to_vec();
         for (l, (lp, layer)) in layer_plans.iter().zip(net.layers()).enumerate() {
             sink.begin_layer(l);
+            sink.tag(SpanTag::wx(l));
             sink.emit(lp.wx.clone());
             let weights = layer.weights();
             let mut skips = SkipStats::default();
-            let hs = Self::execute_gru_body(&lp.body, weights, hidden, &current, sink, &mut skips);
+            let hs =
+                Self::execute_gru_body(l, &lp.body, weights, hidden, &current, sink, &mut skips);
             current = hs.clone();
             layer_hs.push(hs);
             layer_skips.push(skips);
         }
         sink.begin_tail();
+        sink.tag(SpanTag::head());
         sink.emit(plan.head.clone());
         let logits = net.apply_head(current.last().expect("non-empty sequence"));
         PlanOutput {
@@ -917,6 +942,7 @@ impl PlanRuntime {
     }
 
     fn execute_gru_body(
+        layer: usize,
         body: &GruLayerBody,
         weights: &GruWeights,
         hidden: usize,
@@ -929,7 +955,8 @@ impl PlanRuntime {
                 assert_eq!(cells.len(), xs.len(), "plan/input length mismatch");
                 let mut h = Vector::zeros(hidden);
                 let mut hs = Vec::with_capacity(xs.len());
-                for (cell, x) in cells.iter().zip(xs) {
+                for (t, (cell, x)) in cells.iter().zip(xs).enumerate() {
+                    sink.tag(SpanTag::cells(layer, t));
                     sink.emit(cell.sgemv.clone());
                     h = weights.step(x, &h);
                     hs.push(h.clone());
@@ -941,7 +968,8 @@ impl PlanRuntime {
                 assert_eq!(cells.len(), xs.len(), "plan/input length mismatch");
                 let mut h = Vector::zeros(hidden);
                 let mut hs = Vec::with_capacity(xs.len());
-                for (cell, x) in cells.iter().zip(xs) {
+                for (t, (cell, x)) in cells.iter().zip(xs).enumerate() {
+                    sink.tag(SpanTag::cells(layer, t));
                     sink.emit(cell.uz.clone());
                     let z = weights.update_gate(x, &h);
                     sink.emit(cell.select.clone());

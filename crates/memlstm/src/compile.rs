@@ -364,6 +364,11 @@ fn tissue_body(
             };
             TissuePlan {
                 cells: tissue.cells.clone(),
+                sublayers: tissue
+                    .cells
+                    .iter()
+                    .map(|&t| sublayer_of(t, &sublayers))
+                    .collect(),
                 prev,
                 kernels,
             }
@@ -385,6 +390,18 @@ fn tissue_body(
         tissues: tissue_plans,
     };
     (body, stats)
+}
+
+/// The index of the sub-layer containing cell `t` under `sublayers`.
+///
+/// # Panics
+/// Panics if `t` falls outside every sub-layer (the division covers the
+/// whole sequence, so this would be a scheduling bug).
+fn sublayer_of(t: usize, sublayers: &[SubLayer]) -> usize {
+    sublayers
+        .iter()
+        .position(|s| t >= s.start && t < s.start + s.len)
+        .expect("every cell belongs to a sub-layer")
 }
 
 /// Resolves where cell `t` reads its `(h, c)` context from under the

@@ -253,6 +253,31 @@ impl<'a> OptimizedExecutor<'a> {
     }
 }
 
+/// Executes a compiled plan once on a fresh device with profiling enabled,
+/// returning the priced report and the recorded span profile.
+///
+/// Pricing is identical to an unprofiled [`TraceSession`] run — the
+/// profiler observes already-priced kernels and never perturbs cache state
+/// — so `report.time_s` equals the sum of span times bit-for-bit.
+///
+/// [`TraceSession`]: gpu_sim::TraceSession
+///
+/// # Panics
+/// Panics if `xs` is empty or does not match the plan's compiled length.
+pub fn profile_plan(
+    plan: &ExecutionPlan,
+    net: &LstmNetwork,
+    xs: &[Vector],
+    gpu: &gpu_sim::GpuConfig,
+) -> (gpu_sim::SimReport, gpu_sim::Profiler) {
+    let mut device = gpu_sim::GpuDevice::new(gpu.clone());
+    let mut session = device.begin_trace();
+    session.enable_profiling();
+    PlanRuntime::new().run_lstm(plan, net, xs, &mut session);
+    let profiler = session.take_profiler().expect("profiling was enabled");
+    (session.finish(), profiler)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

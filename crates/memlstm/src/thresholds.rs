@@ -14,7 +14,7 @@ use crate::mts::determine_mts;
 use crate::prediction::NetworkPredictors;
 use crate::relevance::RelevanceAnalyzer;
 use crate::tissue::schedule_tissues;
-use gpu_sim::{GpuConfig, GpuDevice, SimReport};
+use gpu_sim::{GpuConfig, GpuDevice, Profiler, SimReport};
 use lstm::plan::NullSink;
 use lstm::{ExecutionPlan, PlanRuntime};
 use pool::Pool;
@@ -336,6 +336,29 @@ impl Evaluator {
         let teacher = &self.workload.teacher_labels()[..n_acc];
         let accuracy = teacher_match_nested(teacher, &approx_preds);
         (perf, accuracy, stats)
+    }
+
+    /// Profiles one optimized run under `config`: compiles the same plan
+    /// [`evaluate`](Self::evaluate) would use (probe-averaged over the
+    /// offline set), executes the first evaluation sequence once on a
+    /// fresh device with span recording enabled, and returns the priced
+    /// report plus the profile. Pricing is identical to the unprofiled
+    /// path, so `report.time_s` equals the span-time sum bit-for-bit.
+    pub fn profile(&self, config: OptimizerConfig) -> (SimReport, Profiler) {
+        let net = self.workload.network();
+        let exec = OptimizedExecutor::new(net, &self.predictors, config);
+        let plan = exec.plan_probes(self.workload.dataset().offline());
+        let xs = &self.workload.eval_set()[0];
+        crate::exec::profile_plan(&plan, net, xs, &self.gpu)
+    }
+
+    /// Profiles the baseline (Algorithm 1) execution of the first
+    /// evaluation sequence.
+    pub fn profile_baseline(&self) -> (SimReport, Profiler) {
+        let net = self.workload.network();
+        let xs = &self.workload.eval_set()[0];
+        let plan = ExecutionPlan::compile_baseline(net, xs.len());
+        crate::exec::profile_plan(&plan, net, xs, &self.gpu)
     }
 
     /// Full Fig. 19-style sweep over `count` threshold sets.

@@ -37,12 +37,131 @@
 
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 thread_local! {
     /// Set while the current thread is a pool worker executing tasks;
     /// nested pool use detects this and runs serially.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+
+    /// The worker's index within its scope, for utilization capture.
+    /// `None` on non-worker threads (inline/serial execution).
+    static WORKER_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Fast-path gate for utilization capture: a single relaxed load per task
+/// when capture is off, so profiling costs nothing unless enabled.
+static CAPTURE_ON: AtomicBool = AtomicBool::new(false);
+
+static CAPTURE: Mutex<Option<CaptureState>> = Mutex::new(None);
+
+struct CaptureState {
+    epoch: Instant,
+    tasks: Vec<TaskSpan>,
+}
+
+/// One executed task as seen by utilization capture: which worker ran it
+/// and when (wall-clock seconds relative to [`start_capture`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpan {
+    /// Worker index within the scope (0 for inline/serial execution).
+    pub worker: usize,
+    /// Start time in seconds since `start_capture()`.
+    pub start_s: f64,
+    /// Task duration in seconds.
+    pub dur_s: f64,
+}
+
+/// Per-worker utilization profile collected between [`start_capture`] and
+/// [`stop_capture`]. All times are wall-clock (host) seconds — unrelated
+/// to the simulated-GPU clock, so consumers should present the two on
+/// separate timelines.
+#[derive(Debug, Clone, Default)]
+pub struct PoolProfile {
+    /// Distinct workers observed (max worker index + 1; 0 if no tasks ran).
+    pub workers: usize,
+    /// Wall-clock seconds between `start_capture()` and `stop_capture()`.
+    pub wall_s: f64,
+    /// Every task executed during the capture window, in completion order.
+    pub tasks: Vec<TaskSpan>,
+}
+
+impl PoolProfile {
+    /// Total seconds `worker` spent executing tasks.
+    pub fn busy_s(&self, worker: usize) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.worker == worker)
+            .map(|t| t.dur_s)
+            .sum()
+    }
+
+    /// Fraction of the capture window `worker` spent executing tasks.
+    pub fn utilization(&self, worker: usize) -> f64 {
+        if self.wall_s > 0.0 {
+            self.busy_s(worker) / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Seconds of task execution summed over all workers.
+    pub fn total_busy_s(&self) -> f64 {
+        self.tasks.iter().map(|t| t.dur_s).sum()
+    }
+}
+
+/// Begins recording per-worker task spans. Any pool work on any thread is
+/// captured until [`stop_capture`] is called. Restarting discards any
+/// capture already in progress.
+pub fn start_capture() {
+    *CAPTURE.lock().unwrap() = Some(CaptureState {
+        epoch: Instant::now(),
+        tasks: Vec::new(),
+    });
+    CAPTURE_ON.store(true, Ordering::SeqCst);
+}
+
+/// Ends recording and returns the captured profile. Returns an empty
+/// profile if no capture was in progress.
+pub fn stop_capture() -> PoolProfile {
+    CAPTURE_ON.store(false, Ordering::SeqCst);
+    match CAPTURE.lock().unwrap().take() {
+        Some(st) => {
+            let wall_s = st.epoch.elapsed().as_secs_f64();
+            let workers = st.tasks.iter().map(|t| t.worker + 1).max().unwrap_or(0);
+            PoolProfile {
+                workers,
+                wall_s,
+                tasks: st.tasks,
+            }
+        }
+        None => PoolProfile::default(),
+    }
+}
+
+/// Runs `task`, recording a [`TaskSpan`] when capture is enabled.
+/// Observation-only: the task's execution is identical either way, and a
+/// panicking task simply goes unrecorded (the panic still propagates).
+fn run_task(task: impl FnOnce()) {
+    if !CAPTURE_ON.load(Ordering::Relaxed) {
+        task();
+        return;
+    }
+    let start = Instant::now();
+    task();
+    let dur_s = start.elapsed().as_secs_f64();
+    let worker = WORKER_ID.with(|w| w.get()).unwrap_or(0);
+    if let Some(st) = CAPTURE.lock().unwrap().as_mut() {
+        let start_s = start.duration_since(st.epoch).as_secs_f64();
+        st.tasks.push(TaskSpan {
+            worker,
+            start_s,
+            dur_s,
+        });
+    }
 }
 
 /// `true` when called from inside a pool task (nested parallelism would
@@ -149,7 +268,14 @@ impl Pool {
         F: Fn(T) -> R + Sync,
     {
         if self.workers <= 1 || in_worker() || items.len() <= 1 {
-            return items.into_iter().map(f).collect();
+            return items
+                .into_iter()
+                .map(|item| {
+                    let mut out = None;
+                    run_task(|| out = Some(f(item)));
+                    out.expect("run_task executes its task")
+                })
+                .collect();
         }
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         let f = &f;
@@ -184,7 +310,7 @@ impl<'s, 'env> Scope<'s, 'env> {
     /// the calling thread.
     pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
         match self.shared {
-            None => task(),
+            None => run_task(task),
             Some(sh) => {
                 let mut st = sh.state.lock().unwrap();
                 st.pending += 1;
@@ -217,6 +343,7 @@ struct Shared<'env> {
 
 fn worker_loop<'env>(shared: &Shared<'env>, id: usize) {
     IN_WORKER.with(|w| w.set(true));
+    WORKER_ID.with(|w| w.set(Some(id)));
     let mut st = shared.state.lock().unwrap();
     loop {
         if let Some(task) = take_task(&mut st, id) {
@@ -226,7 +353,7 @@ fn worker_loop<'env>(shared: &Shared<'env>, id: usize) {
                 // workers can still observe completion and exit (the panic
                 // itself is re-raised by `std::thread::scope` at join).
                 let _guard = PendingGuard(shared);
-                task();
+                run_task(task);
             }
             st = shared.state.lock().unwrap();
         } else if st.closed && st.pending == 0 {
@@ -236,6 +363,7 @@ fn worker_loop<'env>(shared: &Shared<'env>, id: usize) {
         }
     }
     drop(st);
+    WORKER_ID.with(|w| w.set(None));
     IN_WORKER.with(|w| w.set(false));
 }
 
@@ -366,5 +494,50 @@ mod tests {
     #[test]
     fn with_workers_clamps_to_one() {
         assert_eq!(Pool::with_workers(0).workers(), 1);
+    }
+
+    #[test]
+    fn stop_capture_without_start_is_empty() {
+        // Other tests may race a real capture window, so only exercise
+        // the no-capture path when nothing is in flight.
+        if !CAPTURE_ON.load(Ordering::SeqCst) && CAPTURE.lock().unwrap().is_none() {
+            let prof = stop_capture();
+            assert_eq!(prof.workers, 0);
+            assert!(prof.tasks.is_empty());
+        }
+    }
+
+    #[test]
+    fn capture_records_parallel_and_serial_tasks() {
+        start_capture();
+        let pool = Pool::with_workers(3);
+        let out = pool.par_map((0..12).collect::<Vec<u32>>(), |i| {
+            std::thread::sleep(Duration::from_millis(2));
+            i * 3
+        });
+        assert_eq!(out, (0..12).map(|i| i * 3).collect::<Vec<_>>());
+        // Serial path records too, attributed to worker 0.
+        Pool::serial().par_map(vec![1, 2], |x| x);
+        let prof = stop_capture();
+        // `>=` everywhere: concurrent tests may add spans of their own.
+        assert!(prof.tasks.len() >= 12, "only {} spans", prof.tasks.len());
+        assert!(prof.workers >= 1 && prof.workers <= 64);
+        assert!(prof.wall_s > 0.0);
+        assert!(prof.total_busy_s() > 0.0);
+        let busy: f64 = (0..prof.workers).map(|w| prof.busy_s(w)).sum();
+        assert!((busy - prof.total_busy_s()).abs() < 1e-12);
+        for t in &prof.tasks {
+            assert!(t.start_s >= 0.0 && t.dur_s >= 0.0);
+            assert!(t.worker < prof.workers);
+        }
+        assert!(prof.utilization(0) >= 0.0);
+    }
+
+    #[test]
+    fn capture_off_changes_nothing() {
+        // With capture disabled, the pool behaves exactly as before.
+        let pool = Pool::with_workers(2);
+        let out = pool.par_map((0..16).collect::<Vec<u64>>(), |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
     }
 }
