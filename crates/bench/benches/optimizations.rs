@@ -71,26 +71,35 @@ fn bench_executors(c: &mut Criterion) {
         b.iter(|| exec.run(black_box(&xs)))
     });
     group.bench_function("inter_only", |b| {
-        let exec = OptimizedExecutor::new(&net, &predictors, OptimizerConfig::inter_only(1.0, 5));
+        let exec = OptimizedExecutor::new(
+            &net,
+            &predictors,
+            OptimizerConfig::builder()
+                .alpha_inter(1.0)
+                .max_tissue_size(5)
+                .build(),
+        );
         b.iter(|| exec.run(black_box(&xs)))
     });
     group.bench_function("intra_only", |b| {
-        let config = OptimizerConfig::intra_only(DrsConfig {
-            alpha_intra: 0.06,
-            mode: DrsMode::Hardware,
-        });
+        let config = OptimizerConfig::builder()
+            .drs(DrsConfig {
+                alpha_intra: 0.06,
+                mode: DrsMode::Hardware,
+            })
+            .build();
         let exec = OptimizedExecutor::new(&net, &predictors, config);
         b.iter(|| exec.run(black_box(&xs)))
     });
     group.bench_function("combined", |b| {
-        let config = OptimizerConfig::combined(
-            1.0,
-            5,
-            DrsConfig {
+        let config = OptimizerConfig::builder()
+            .alpha_inter(1.0)
+            .max_tissue_size(5)
+            .drs(DrsConfig {
                 alpha_intra: 0.06,
                 mode: DrsMode::Hardware,
-            },
-        );
+            })
+            .build();
         let exec = OptimizedExecutor::new(&net, &predictors, config);
         b.iter(|| exec.run(black_box(&xs)))
     });

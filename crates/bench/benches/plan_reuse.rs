@@ -31,14 +31,14 @@ fn setup() -> Setup {
     let cfg = ModelConfig::new("PTB", 96, 96, 3, 24, 20).unwrap();
     let workload = Workload::generate_scaled(Benchmark::Ptb, &cfg, EVAL_SEQS, 40);
     let predictors = NetworkPredictors::collect(workload.network(), workload.dataset().offline());
-    let config = OptimizerConfig::combined(
-        1.0,
-        4,
-        DrsConfig {
+    let config = OptimizerConfig::builder()
+        .alpha_inter(1.0)
+        .max_tissue_size(4)
+        .drs(DrsConfig {
             alpha_intra: 0.06,
             mode: DrsMode::Hardware,
-        },
-    );
+        })
+        .build();
     Setup {
         workload,
         predictors,

@@ -16,7 +16,7 @@ fn measure(
     benchmark: workloads::Benchmark,
     config: OptimizerConfig,
 ) -> (f64, f64) {
-    let ev = session.evaluator(benchmark);
+    let ev = session.prepare(benchmark);
     let base = ev.baseline_perf();
     let (perf, accuracy, _) = ev.evaluate(config);
     (base.time_s / perf.time_s, accuracy)
@@ -146,7 +146,7 @@ pub fn compression_accuracy(session: &mut Session) -> String {
     let mut table = TextTable::new(["benchmark", "zero-pruning acc%", "DRS(AO) acc%"]);
     for benchmark in session.benchmarks() {
         let intra_ao = *select_ao(&session.sweep(benchmark, Level::Intra));
-        let ev = session.evaluator(benchmark);
+        let ev = session.prepare(benchmark);
         let workload = ev.workload();
         let net = workload.network();
         let zp = memlstm::pruning::ZeroPruning::calibrate(net, 0.37);

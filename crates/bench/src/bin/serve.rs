@@ -1,0 +1,170 @@
+//! Replays a synthetic open-loop arrival trace against the batched serve
+//! engine and reports throughput and latency percentiles per batch cap.
+//!
+//! For each benchmark a seeded exponential arrival process is generated
+//! (open loop: arrivals don't wait for service), then the identical trace
+//! is served with `max_batch` in {1, 2, 4, 8}. `max_batch = 1` is the
+//! serial baseline — one weight reload per request per timestep — so the
+//! batch-8 throughput ratio over it is exactly the amortization the paper's
+//! DRAM-bound analysis predicts for overlapping requests. Everything is
+//! simulated time; reruns are bit-identical.
+//!
+//! Results go to `BENCH_serve.json` at the repo root. `--fast` restricts
+//! to the two cheapest benchmarks with a smaller trace for CI smoke runs.
+
+use lstm::plan::ExecutionPlan;
+use memlstm::serve::{Request, ServeConfig, ServeEngine};
+use rand::Rng;
+use tensor::init::seeded_rng;
+use workloads::{Benchmark, Workload};
+
+/// Batch caps the trace is replayed at; 1 is the serial baseline.
+const BATCH_CAPS: [usize; 4] = [1, 2, 4, 8];
+
+/// One replay's aggregate numbers.
+struct RunStats {
+    max_batch: usize,
+    sim_time_s: f64,
+    throughput_rps: f64,
+    p50_s: f64,
+    p95_s: f64,
+    p99_s: f64,
+    mean_batch: f64,
+    rounds: usize,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Serves `arrivals` (id, arrival_s) over the benchmark's eval sequences
+/// with one batch cap and summarizes the completions.
+fn replay(
+    plan: &ExecutionPlan,
+    workload: &Workload,
+    arrivals: &[(u64, f64)],
+    max_batch: usize,
+) -> RunStats {
+    let config = ServeConfig {
+        max_batch,
+        queue_capacity: arrivals.len(),
+        ..ServeConfig::default()
+    };
+    let mut engine =
+        ServeEngine::new(plan, workload.network(), config).expect("plan matches network");
+    let seqs = workload.eval_set();
+    for &(id, arrival_s) in arrivals {
+        engine
+            .submit(Request {
+                id,
+                xs: seqs[id as usize % seqs.len()].clone(),
+                arrival_s,
+                deadline_s: None,
+            })
+            .expect("queue sized for the whole trace");
+    }
+    let completions = engine.drain();
+    let mut latencies: Vec<f64> = completions.iter().map(|c| c.latency_s).collect();
+    latencies.sort_by(f64::total_cmp);
+    let rounds = engine.rounds().len();
+    let mean_batch = completions.len() as f64 / rounds as f64;
+    RunStats {
+        max_batch,
+        sim_time_s: engine.clock_s(),
+        throughput_rps: completions.len() as f64 / engine.clock_s(),
+        p50_s: percentile(&latencies, 50.0),
+        p95_s: percentile(&latencies, 95.0),
+        p99_s: percentile(&latencies, 99.0),
+        mean_batch,
+        rounds,
+    }
+}
+
+/// One benchmark's full sweep: trace generation plus a replay per cap.
+fn serve_benchmark(benchmark: Benchmark, num_requests: usize) -> String {
+    eprintln!("[serve] {benchmark}: generating workload...");
+    let workload = Workload::generate(benchmark, 8, 0xBEEF);
+    let seq_len = workload.eval_set()[0].len();
+    let plan = ExecutionPlan::compile_baseline(workload.network(), seq_len);
+
+    // Calibrate the offered load to one serial round: mean interarrival of
+    // round/8 keeps even the widest gang busy, so every cap is measured
+    // under the same (saturating) open-loop trace.
+    let probe = replay(&plan, &workload, &[(0, 0.0)], 1);
+    let mean_gap_s = probe.sim_time_s / 8.0;
+    let mut rng = seeded_rng(0xD1CE ^ benchmark as u64);
+    let mut clock = 0.0;
+    let arrivals: Vec<(u64, f64)> = (0..num_requests as u64)
+        .map(|id| {
+            clock += -f64::ln(1.0 - rng.gen::<f64>()) * mean_gap_s;
+            (id, clock)
+        })
+        .collect();
+
+    let runs: Vec<RunStats> = BATCH_CAPS
+        .iter()
+        .map(|&cap| {
+            eprintln!("[serve] {benchmark}: replaying trace at max_batch={cap}...");
+            replay(&plan, &workload, &arrivals, cap)
+        })
+        .collect();
+    let serial = runs[0].throughput_rps;
+    let speedup_b8 = runs.last().expect("caps non-empty").throughput_rps / serial;
+    eprintln!("[serve] {benchmark}: batch-8 throughput {speedup_b8:.2}x serial");
+
+    let run_lines = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "        {{\"max_batch\": {}, \"rounds\": {}, \"mean_batch\": {:.3}, \
+                 \"sim_time_s\": {:.6}, \"throughput_rps\": {:.3}, \
+                 \"p50_s\": {:.6}, \"p95_s\": {:.6}, \"p99_s\": {:.6}, \
+                 \"throughput_vs_serial\": {:.3}}}",
+                r.max_batch,
+                r.rounds,
+                r.mean_batch,
+                r.sim_time_s,
+                r.throughput_rps,
+                r.p50_s,
+                r.p95_s,
+                r.p99_s,
+                r.throughput_rps / serial
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "    {{\n      \"name\": \"{benchmark}\", \"seq_len\": {seq_len}, \
+         \"requests\": {num_requests}, \"mean_interarrival_s\": {mean_gap_s:.6}, \
+         \"speedup_b8_vs_serial\": {speedup_b8:.3},\n      \"runs\": [\n{run_lines}\n      ]\n    }}"
+    )
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let (benchmarks, num_requests) = if fast {
+        (vec![Benchmark::Mr, Benchmark::Babi], 16)
+    } else {
+        (Benchmark::ALL.to_vec(), 32)
+    };
+    let entries = benchmarks
+        .iter()
+        .map(|&b| serve_benchmark(b, num_requests))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"mode\": \"{}\",\n  \
+         \"batch_caps\": [1, 2, 4, 8],\n  \
+         \"note\": \"open-loop exponential arrivals, simulated time; max_batch=1 is the serial baseline\",\n  \
+         \"benchmarks\": [\n{entries}\n  ]\n}}\n",
+        if fast { "fast" } else { "full" }
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, json).expect("write BENCH_serve.json");
+    eprintln!("wrote {path}");
+}

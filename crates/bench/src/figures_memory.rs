@@ -14,7 +14,7 @@ fn baseline_sgemv_profile(
     session: &mut Session,
     benchmark: workloads::Benchmark,
 ) -> (StallBreakdown, gpu_sim::SimReport, GpuDevice) {
-    let ev = session.evaluator(benchmark);
+    let ev = session.prepare(benchmark);
     let workload = ev.workload();
     let net = workload.network();
     let run = BaselineExecutor::new(net).run(&workload.eval_set()[0]);

@@ -35,7 +35,7 @@ pub fn fig14(session: &mut Session) -> String {
         let intra = *select_ao(&intra_points);
         // The combined system's thresholds come from the Fig. 10 step-3
         // accuracy-feedback loop, not the diagonal sweep.
-        let ev = session.evaluator(*benchmark);
+        let ev = session.prepare(*benchmark);
         let (_, combined) = memlstm::thresholds::tune_combined_ao(ev, &inter_points, &intra_points);
         table.row([
             benchmark.name().to_owned(),
@@ -95,12 +95,15 @@ pub fn fig15(session: &mut Session) -> String {
         .collect();
     for benchmark in benchmarks {
         let ao = *select_ao(&session.sweep(benchmark, Level::Inter));
-        let ev = session.evaluator(benchmark);
+        let ev = session.prepare(benchmark);
         let workload = ev.workload();
         let net = workload.network();
         let xs = &workload.eval_set()[0];
         let base_run = BaselineExecutor::new(net).run(xs);
-        let config = OptimizerConfig::inter_only(ao.set.alpha_inter, ev.mts());
+        let config = OptimizerConfig::builder()
+            .alpha_inter(ao.set.alpha_inter)
+            .max_tissue_size(ev.mts())
+            .build();
         let opt_run = OptimizedExecutor::new(net, ev.predictors(), config).run(xs);
         let mut table = TextTable::new(["layer", "speedup", "energy saving%"]);
         for (l, (base_layer, opt_layer)) in base_run.layers.iter().zip(&opt_run.layers).enumerate()
@@ -140,7 +143,7 @@ pub fn fig16(session: &mut Session) -> String {
     for benchmark in &benchmarks {
         let intra_ao = *select_ao(&session.sweep(*benchmark, Level::Intra));
         let alpha = intra_ao.set.alpha_intra;
-        let ev = session.evaluator(*benchmark);
+        let ev = session.prepare(*benchmark);
         let base = ev.baseline_perf();
 
         // Zero-pruning at the paper's 37% target, simulated over the same
@@ -187,10 +190,12 @@ pub fn fig16(session: &mut Session) -> String {
             ("software DRS", DrsMode::Software),
             ("hardware DRS", DrsMode::Hardware),
         ] {
-            let config = OptimizerConfig::intra_only(DrsConfig {
-                alpha_intra: alpha,
-                mode,
-            });
+            let config = OptimizerConfig::builder()
+                .drs(DrsConfig {
+                    alpha_intra: alpha,
+                    mode,
+                })
+                .build();
             let (perf, acc, stats) = ev.evaluate(config);
             let compression = stats.mean_skip_fraction() * 0.75;
             let speedup = base.time_s / perf.time_s;

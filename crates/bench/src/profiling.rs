@@ -120,7 +120,7 @@ pub fn profile_run(
     pool::start_capture();
     let (report, profiler, set) = match scheme.level() {
         None => {
-            let (report, profiler) = session.evaluator(benchmark).profile_baseline();
+            let (report, profiler) = session.prepare(benchmark).profile_baseline();
             (report, profiler, None)
         }
         Some(level) => {
@@ -132,7 +132,7 @@ pub fn profile_run(
                 )
             });
             let config = session.config_for(benchmark, level, &set);
-            let (report, profiler) = session.evaluator(benchmark).profile(config);
+            let (report, profiler) = session.prepare(benchmark).profile(config);
             (report, profiler, Some(set))
         }
     };

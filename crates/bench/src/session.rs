@@ -73,17 +73,37 @@ impl Session {
             .with_budget(budget.perf_seqs, budget.accuracy_seqs)
     }
 
-    /// The evaluator for a benchmark (offline phase runs on first use).
-    pub fn evaluator(&mut self, benchmark: Benchmark) -> &Evaluator {
+    /// Ensures a benchmark's evaluator exists (the offline phase runs on
+    /// first use) and returns it. This is the only entry point that
+    /// mutates the cache; once it has run, [`evaluator`](Self::evaluator)
+    /// and [`try_evaluator`](Self::try_evaluator) look the evaluator up
+    /// through `&self`.
+    pub fn prepare(&mut self, benchmark: Benchmark) -> &Evaluator {
         let fast = self.fast;
         self.evaluators
             .entry((benchmark, fast))
             .or_insert_with(|| Self::build_evaluator(benchmark, fast))
     }
 
+    /// A benchmark's cached evaluator, by shared reference.
+    ///
+    /// # Panics
+    /// Panics if the evaluator was never built — call
+    /// [`prepare`](Self::prepare) or [`prewarm`](Self::prewarm) first.
+    pub fn evaluator(&self, benchmark: Benchmark) -> &Evaluator {
+        self.try_evaluator(benchmark).unwrap_or_else(|| {
+            panic!("Session::evaluator: {benchmark} not prepared; call prepare()/prewarm() first")
+        })
+    }
+
+    /// A benchmark's cached evaluator, or `None` if it was never built.
+    pub fn try_evaluator(&self, benchmark: Benchmark) -> Option<&Evaluator> {
+        self.evaluators.get(&(benchmark, self.fast))
+    }
+
     /// The threshold sets for a benchmark (from its offline upper limits).
     pub fn sets(&mut self, benchmark: Benchmark) -> Vec<ThresholdSet> {
-        let ev = self.evaluator(benchmark);
+        let ev = self.prepare(benchmark);
         threshold_sets(ev.upper_alpha_inter(), ev.upper_alpha_intra(), NUM_SETS)
     }
 
@@ -94,7 +114,7 @@ impl Session {
         level: Level,
         set: &ThresholdSet,
     ) -> OptimizerConfig {
-        let mts = self.evaluator(benchmark).mts();
+        let mts = self.prepare(benchmark).mts();
         config_for_level(level, set, mts)
     }
 
@@ -104,7 +124,7 @@ impl Session {
         if let Some(points) = self.sweeps.get(&(benchmark, fast, level)) {
             return points.clone();
         }
-        let points = compute_sweep(self.evaluator(benchmark), level);
+        let points = compute_sweep(self.prepare(benchmark), level);
         self.sweeps.insert((benchmark, fast, level), points.clone());
         points
     }
@@ -158,19 +178,24 @@ impl Session {
 /// Maps a threshold set to the optimizer configuration of a level.
 fn config_for_level(level: Level, set: &ThresholdSet, mts: usize) -> OptimizerConfig {
     match level {
-        Level::Inter => OptimizerConfig::inter_only(set.alpha_inter, mts),
-        Level::Intra => OptimizerConfig::intra_only(DrsConfig {
-            alpha_intra: set.alpha_intra,
-            mode: DrsMode::Hardware,
-        }),
-        Level::Combined => OptimizerConfig::combined(
-            set.alpha_inter,
-            mts,
-            DrsConfig {
+        Level::Inter => OptimizerConfig::builder()
+            .alpha_inter(set.alpha_inter)
+            .max_tissue_size(mts)
+            .build(),
+        Level::Intra => OptimizerConfig::builder()
+            .drs(DrsConfig {
                 alpha_intra: set.alpha_intra,
                 mode: DrsMode::Hardware,
-            },
-        ),
+            })
+            .build(),
+        Level::Combined => OptimizerConfig::builder()
+            .alpha_inter(set.alpha_inter)
+            .max_tissue_size(mts)
+            .drs(DrsConfig {
+                alpha_intra: set.alpha_intra,
+                mode: DrsMode::Hardware,
+            })
+            .build(),
     }
 }
 

@@ -70,7 +70,7 @@ pub fn overheads(session: &mut Session) -> String {
             let set = ao.set;
             session.config_for(*benchmark, Level::Combined, &set)
         };
-        let ev = session.evaluator(*benchmark);
+        let ev = session.prepare(*benchmark);
         let workload = ev.workload();
         let run = OptimizedExecutor::new(workload.network(), ev.predictors(), config)
             .run(&workload.eval_set()[0]);

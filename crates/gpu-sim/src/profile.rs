@@ -75,6 +75,9 @@ pub struct SpanTag {
     pub sublayer: Option<u32>,
     /// Timestep (sequential per-cell flows only).
     pub step: Option<u32>,
+    /// Cross-request batch size, when the kernel serves several sequences
+    /// in one launch (the serving engine's lockstep rounds).
+    pub batch: Option<u32>,
 }
 
 impl SpanTag {
@@ -123,6 +126,14 @@ impl SpanTag {
             phase: Phase::Head,
             ..Self::default()
         }
+    }
+
+    /// Returns the tag with the cross-request batch size attached.
+    /// Recorded spans carry it into rollups and the Chrome trace, where it
+    /// makes weight-load amortization visible per kernel.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch as u32);
+        self
     }
 
     /// Phase label used for rollups, e.g. `L0/cells`, `L2/tissue`, `head`.
@@ -468,6 +479,9 @@ impl Profiler {
             }
             if let Some(s) = span.tag.step {
                 args.push(("step", ArgValue::Int(i64::from(s))));
+            }
+            if let Some(b) = span.tag.batch {
+                args.push(("batch", ArgValue::Int(i64::from(b))));
             }
             trace.add_span(
                 pid,
@@ -1056,5 +1070,19 @@ mod tests {
         assert_eq!(SpanTag::head().label(), "head");
         assert_eq!(SpanTag::default().label(), "other");
         assert_eq!(SpanTag::offline(1).label(), "L1/offline");
+    }
+
+    #[test]
+    fn batch_tag_survives_into_spans_and_chrome_args() {
+        let mut p = Profiler::new();
+        p.set_tag(SpanTag::wx(0).with_batch(8));
+        p.record(&report("Sgemm(W,X)", KernelKind::Sgemm, 1.0));
+        assert_eq!(p.spans()[0].tag.batch, Some(8));
+        // The label is batch-agnostic: batched and serial spans of the
+        // same phase roll up together.
+        assert_eq!(p.spans()[0].tag.label(), "L0/wx");
+        let json = p.chrome_trace().to_json();
+        assert!(json.contains("\"batch\":8"), "{json}");
+        assert!(validate_chrome_trace(&json).is_ok());
     }
 }

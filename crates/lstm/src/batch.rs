@@ -1,0 +1,535 @@
+//! Cross-request batched plan execution.
+//!
+//! The paper's diagnosis (Fig. 4/6) is that mobile-GPU LSTM inference is
+//! DRAM-bound on *weight* reloads; tissues and Dynamic Row Skip attack
+//! that within one sequence. Serving many concurrent sequences offers the
+//! same lever across requests: running B sequences in lockstep turns each
+//! per-step `Sgemv(U, h)` into an `Sgemm(U, H_B)`, so one weight load
+//! serves B hidden vectors (cf. Appleyard et al.'s batched RNN kernels
+//! and E-PUR's weight-reuse argument).
+//!
+//! [`BatchRuntime`] executes one compiled [`ExecutionPlan`] on B
+//! sequences at once. The numeric path calls exactly the same
+//! per-sequence functions in the same per-sequence order as
+//! [`PlanRuntime`](crate::plan::PlanRuntime) — sequences are independent,
+//! so interchanging the timestep and sequence loops cannot change any
+//! value — which makes every per-sequence output **bit-identical** to
+//! running that sequence alone. Batching changes only the emitted kernel
+//! stream: one batched kernel per planned kernel, priced by
+//! [`batch_kernel`] with amortized weight traffic.
+
+use crate::cell::GatePreacts;
+use crate::drs::{skip_fraction, trivial_row_mask};
+use crate::network::LstmNetwork;
+use crate::plan::{
+    ExecutionPlan, KernelSink, LayerBody, PlanBody, PlanOutput, PrevSource, SkipStats,
+    TissueKernels,
+};
+use crate::regions::NetworkRegions;
+use gpu_sim::{KernelDesc, KernelKind, SpanTag};
+use tensor::Vector;
+
+/// Derives the batched form of a planned kernel serving `batch`
+/// concurrent sequences.
+///
+/// Compute, transient traffic, and thread counts scale with the batch;
+/// reads of persistent weight regions (per [`NetworkRegions::is_weight`])
+/// do **not** — the weight tile is staged once and reused by every
+/// sequence, which is the entire simulated speedup. On-chip traffic
+/// scales only in its non-weight part for the same reason, and a batched
+/// `Sgemv` becomes an `Sgemm`.
+///
+/// `batch <= 1` returns the kernel unchanged, so a batch of one prices
+/// bit-identically to serial execution.
+pub fn batch_kernel(desc: &KernelDesc, batch: usize, regions: &NetworkRegions) -> KernelDesc {
+    let mut k = desc.clone();
+    if batch <= 1 {
+        return k;
+    }
+    let b = batch as u64;
+    let mut weight_bytes = 0u64;
+    for r in &mut k.reads {
+        if regions.is_weight(r.region) {
+            weight_bytes += r.bytes;
+        } else {
+            r.bytes *= b;
+        }
+    }
+    for w in &mut k.writes {
+        w.bytes *= b;
+    }
+    k.flops *= b;
+    k.smem_bytes = weight_bytes + b * k.smem_bytes.saturating_sub(weight_bytes);
+    k.threads = u32::try_from(u64::from(k.threads) * b).unwrap_or(u32::MAX);
+    k.skipped_threads = u32::try_from(u64::from(k.skipped_threads) * b).unwrap_or(u32::MAX);
+    if k.kind == KernelKind::Sgemv {
+        k.kind = KernelKind::Sgemm;
+    }
+    k.label = batched_label(&k.label, batch);
+    k
+}
+
+/// Appends the batch-size suffix the serve traces use (`"... xB4"`).
+fn batched_label(label: &str, batch: usize) -> String {
+    format!("{label} xB{batch}")
+}
+
+/// Tags a span with the batch size when there is an actual batch.
+fn tag_b(tag: SpanTag, batch: usize) -> SpanTag {
+    if batch > 1 {
+        tag.with_batch(batch)
+    } else {
+        tag
+    }
+}
+
+/// Executes [`ExecutionPlan`]s over a batch of sequences in lockstep.
+///
+/// Like [`PlanRuntime`](crate::plan::PlanRuntime) it owns its transient
+/// per-timestep state and reuses the buffers across executions.
+#[derive(Debug, Default)]
+pub struct BatchRuntime {
+    h_slots: Vec<Vec<Option<Vector>>>,
+    c_slots: Vec<Vec<Option<Vector>>>,
+}
+
+impl BatchRuntime {
+    /// Creates a runtime with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes an LSTM plan on every sequence of `seqs` in lockstep,
+    /// streaming one *batched* kernel per planned kernel into `sink`.
+    ///
+    /// Output `i` is bit-identical to
+    /// `PlanRuntime::run_lstm(plan, net, &seqs[i], ..)`.
+    ///
+    /// # Panics
+    /// Panics if `seqs` is empty, if any sequence is empty or differs
+    /// from the plan's compiled length, or if the plan was compiled for a
+    /// GRU network or a different layer count.
+    pub fn run_lstm_batch(
+        &mut self,
+        plan: &ExecutionPlan,
+        net: &LstmNetwork,
+        seqs: &[Vec<Vector>],
+        sink: &mut impl KernelSink,
+    ) -> Vec<PlanOutput> {
+        assert!(
+            !seqs.is_empty(),
+            "BatchRuntime::run_lstm_batch: empty batch"
+        );
+        for (i, xs) in seqs.iter().enumerate() {
+            assert!(
+                !xs.is_empty(),
+                "BatchRuntime::run_lstm_batch: empty input (sequence {i})"
+            );
+            assert_eq!(
+                xs.len(),
+                plan.seq_len,
+                "plan compiled for sequence length {}, got {} (sequence {i})",
+                plan.seq_len,
+                xs.len()
+            );
+        }
+        let PlanBody::Lstm(layer_plans) = &plan.body else {
+            panic!("BatchRuntime::run_lstm_batch: plan was compiled for a GRU network");
+        };
+        assert_eq!(
+            layer_plans.len(),
+            net.layers().len(),
+            "plan/network layer count mismatch"
+        );
+        let b = seqs.len();
+
+        let mut layer_hs: Vec<Vec<Vec<Vector>>> = vec![Vec::with_capacity(layer_plans.len()); b];
+        let mut layer_skips: Vec<Vec<SkipStats>> = vec![Vec::with_capacity(layer_plans.len()); b];
+        let mut currents: Vec<Vec<Vector>> = seqs.to_vec();
+        for (l, (lp, layer)) in layer_plans.iter().zip(net.layers()).enumerate() {
+            sink.begin_layer(l);
+            sink.tag(tag_b(SpanTag::wx(l), b));
+            sink.emit(batch_kernel(&lp.wx, b, &plan.regions));
+            let wx: Vec<Vec<GatePreacts>> = currents
+                .iter()
+                .map(|cur| layer.precompute_wx(cur))
+                .collect();
+            let mut skips = vec![SkipStats::default(); b];
+            let hs =
+                self.execute_lstm_body(l, &lp.body, layer, &wx, &plan.regions, sink, &mut skips);
+            for (s, hs_s) in hs.iter().enumerate() {
+                currents[s] = hs_s.clone();
+                layer_hs[s].push(hs_s.clone());
+                layer_skips[s].push(skips[s]);
+            }
+        }
+        sink.begin_tail();
+        sink.tag(tag_b(SpanTag::head(), b));
+        sink.emit(batch_kernel(&plan.head, b, &plan.regions));
+        (0..b)
+            .map(|s| PlanOutput {
+                layer_hs: layer_hs[s].clone(),
+                logits: net.apply_head(currents[s].last().expect("non-empty sequence")),
+                layer_skips: layer_skips[s].clone(),
+            })
+            .collect()
+    }
+
+    /// Executes one layer body for every sequence, emitting batched
+    /// kernels. Per-sequence arithmetic mirrors
+    /// `PlanRuntime::execute_lstm_body` call for call.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_lstm_body(
+        &mut self,
+        layer: usize,
+        body: &LayerBody,
+        net_layer: &crate::layer::LstmLayer,
+        wx: &[Vec<GatePreacts>],
+        regions: &NetworkRegions,
+        sink: &mut impl KernelSink,
+        skips: &mut [SkipStats],
+    ) -> Vec<Vec<Vector>> {
+        let weights = net_layer.weights();
+        let hidden = weights.hidden();
+        let b = wx.len();
+        match body {
+            LayerBody::Baseline { cells } => {
+                for wx_s in wx {
+                    assert_eq!(cells.len(), wx_s.len(), "plan/input length mismatch");
+                }
+                let mut h = vec![Vector::zeros(hidden); b];
+                let mut c = vec![Vector::zeros(hidden); b];
+                let mut hs = vec![Vec::with_capacity(cells.len()); b];
+                for (t, cell) in cells.iter().enumerate() {
+                    sink.tag(tag_b(SpanTag::cells(layer, t), b));
+                    sink.emit(batch_kernel(&cell.sgemv, b, regions));
+                    for s in 0..b {
+                        let (h_next, c_next) = weights.step(&wx[s][t], &h[s], &c[s]);
+                        h[s] = h_next;
+                        c[s] = c_next;
+                        hs[s].push(h[s].clone());
+                    }
+                    sink.emit(batch_kernel(&cell.ew, b, regions));
+                }
+                hs
+            }
+            LayerBody::Drs { alpha_intra, cells } => {
+                for wx_s in wx {
+                    assert_eq!(cells.len(), wx_s.len(), "plan/input length mismatch");
+                }
+                let mut h = vec![Vector::zeros(hidden); b];
+                let mut c = vec![Vector::zeros(hidden); b];
+                let mut hs = vec![Vec::with_capacity(cells.len()); b];
+                for (t, cell) in cells.iter().enumerate() {
+                    sink.tag(tag_b(SpanTag::cells(layer, t), b));
+                    sink.emit(batch_kernel(&cell.uo, b, regions));
+                    sink.emit(batch_kernel(&cell.gate_ew, b, regions));
+                    let os: Vec<Vector> = (0..b)
+                        .map(|s| weights.output_gate(&wx[s][t].o, &h[s]))
+                        .collect();
+                    sink.emit(batch_kernel(&cell.select, b, regions));
+                    let masks: Vec<Vec<bool>> = os
+                        .iter()
+                        .map(|o| trivial_row_mask(o, *alpha_intra))
+                        .collect();
+                    for (s, mask) in masks.iter().enumerate() {
+                        skips[s].push(skip_fraction(mask));
+                    }
+                    let mut masked = cell.masked.instantiate_batch(&masks, b);
+                    if b > 1 {
+                        masked.label = batched_label(&masked.label, b);
+                    }
+                    sink.emit(masked);
+                    sink.emit(batch_kernel(&cell.ew, b, regions));
+                    for s in 0..b {
+                        let (h_next, c_next) =
+                            weights.step_masked(&wx[s][t], &h[s], &c[s], &os[s], &masks[s]);
+                        h[s] = h_next;
+                        c[s] = c_next;
+                        hs[s].push(h[s].clone());
+                    }
+                }
+                hs
+            }
+            LayerBody::Tissues {
+                search,
+                link,
+                alpha_intra,
+                predicted_h,
+                predicted_c,
+                tissues,
+            } => {
+                sink.tag(tag_b(SpanTag::offline(layer), b));
+                sink.emit(batch_kernel(search, b, regions));
+                if let Some(k) = link {
+                    sink.emit(batch_kernel(k, b, regions));
+                }
+                let n = wx[0].len();
+                self.h_slots.resize_with(b, Vec::new);
+                self.c_slots.resize_with(b, Vec::new);
+                for s in 0..b {
+                    self.h_slots[s].clear();
+                    self.h_slots[s].resize(n, None);
+                    self.c_slots[s].clear();
+                    self.c_slots[s].resize(n, None);
+                }
+                for (k, tp) in tissues.iter().enumerate() {
+                    sink.tag(tag_b(
+                        SpanTag::tissue(layer, k, tp.sublayers.first().copied()),
+                        b,
+                    ));
+                    let prevs: Vec<Vec<(Vector, Vector)>> = (0..b)
+                        .map(|s| {
+                            tp.cells
+                                .iter()
+                                .zip(&tp.prev)
+                                .map(|(&t, src)| match src {
+                                    PrevSource::Zeros => {
+                                        (Vector::zeros(hidden), Vector::zeros(hidden))
+                                    }
+                                    PrevSource::Predicted => {
+                                        (predicted_h.clone(), predicted_c.clone())
+                                    }
+                                    PrevSource::Prior => (
+                                        self.h_slots[s][t - 1].clone().expect(
+                                            "schedule guarantees the predecessor already ran",
+                                        ),
+                                        self.c_slots[s][t - 1].clone().expect(
+                                            "schedule guarantees the predecessor already ran",
+                                        ),
+                                    ),
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    match &tp.kernels {
+                        TissueKernels::Plain { sgemm, ew } => {
+                            sink.emit(batch_kernel(sgemm, b, regions));
+                            sink.emit(batch_kernel(ew, b, regions));
+                            for s in 0..b {
+                                for (&t, (h_prev, c_prev)) in tp.cells.iter().zip(&prevs[s]) {
+                                    let (h, c) = weights.step(&wx[s][t], h_prev, c_prev);
+                                    self.h_slots[s][t] = Some(h);
+                                    self.c_slots[s][t] = Some(c);
+                                }
+                            }
+                        }
+                        TissueKernels::Drs {
+                            uo,
+                            gate_ew,
+                            select,
+                            masked,
+                            ew,
+                        } => {
+                            sink.emit(batch_kernel(uo, b, regions));
+                            sink.emit(batch_kernel(gate_ew, b, regions));
+                            sink.emit(batch_kernel(select, b, regions));
+                            let oss: Vec<Vec<Vector>> = (0..b)
+                                .map(|s| {
+                                    tp.cells
+                                        .iter()
+                                        .zip(&prevs[s])
+                                        .map(|(&t, (h_prev, _))| {
+                                            weights.output_gate(&wx[s][t].o, h_prev)
+                                        })
+                                        .collect()
+                                })
+                                .collect();
+                            let maskss: Vec<Vec<Vec<bool>>> = oss
+                                .iter()
+                                .map(|os| {
+                                    os.iter()
+                                        .map(|o| trivial_row_mask(o, *alpha_intra))
+                                        .collect()
+                                })
+                                .collect();
+                            for (s, masks) in maskss.iter().enumerate() {
+                                for mask in masks {
+                                    skips[s].push(skip_fraction(mask));
+                                }
+                            }
+                            let all_masks: Vec<Vec<bool>> = maskss.concat();
+                            let mut mk = masked.instantiate_batch(&all_masks, b);
+                            if b > 1 {
+                                mk.label = batched_label(&mk.label, b);
+                            }
+                            sink.emit(mk);
+                            sink.emit(batch_kernel(ew, b, regions));
+                            for s in 0..b {
+                                for ((&t, (h_prev, c_prev)), (o, mask)) in tp
+                                    .cells
+                                    .iter()
+                                    .zip(&prevs[s])
+                                    .zip(oss[s].iter().zip(&maskss[s]))
+                                {
+                                    let (h, c) =
+                                        weights.step_masked(&wx[s][t], h_prev, c_prev, o, mask);
+                                    self.h_slots[s][t] = Some(h);
+                                    self.c_slots[s][t] = Some(c);
+                                }
+                            }
+                        }
+                    }
+                }
+                (0..b)
+                    .map(|s| {
+                        self.h_slots[s]
+                            .iter_mut()
+                            .map(|h| h.take().expect("every cell scheduled exactly once"))
+                            .collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::plan::PlanRuntime;
+    use crate::schedule::u_sgemv_kernel;
+    use gpu_sim::{GpuConfig, GpuDevice};
+    use tensor::init::seeded_rng;
+
+    fn setup(seed: u64) -> (LstmNetwork, Vec<Vec<Vector>>) {
+        let config = ModelConfig::new("test", 12, 24, 2, 8, 3).unwrap();
+        let mut rng = seeded_rng(seed);
+        let net = LstmNetwork::random(&config, &mut rng);
+        let seqs = (0..4)
+            .map(|_| crate::random_inputs(&config, &mut rng))
+            .collect();
+        (net, seqs)
+    }
+
+    #[test]
+    fn batch_of_one_matches_plan_runtime_exactly() {
+        let (net, seqs) = setup(21);
+        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        let mut serial_trace: Vec<KernelDesc> = Vec::new();
+        let serial = PlanRuntime::new().run_lstm(&plan, &net, &seqs[0], &mut serial_trace);
+        let mut batch_trace: Vec<KernelDesc> = Vec::new();
+        let batched = BatchRuntime::new().run_lstm_batch(&plan, &net, &seqs[..1], &mut batch_trace);
+        // Outputs AND the emitted kernel stream are bit-identical: a
+        // batch of one is serial execution.
+        assert_eq!(batched.len(), 1);
+        assert_eq!(batched[0], serial);
+        assert_eq!(batch_trace, serial_trace);
+    }
+
+    #[test]
+    fn batched_outputs_bit_identical_per_sequence() {
+        let (net, seqs) = setup(22);
+        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        let batched =
+            BatchRuntime::new().run_lstm_batch(&plan, &net, &seqs, &mut crate::plan::NullSink);
+        for (xs, out) in seqs.iter().zip(&batched) {
+            let serial = PlanRuntime::new().run_lstm(&plan, &net, xs, &mut crate::plan::NullSink);
+            assert_eq!(*out, serial);
+        }
+    }
+
+    #[test]
+    fn batched_kernel_amortizes_weight_reads_only() {
+        let (net, seqs) = setup(23);
+        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        let PlanBody::Lstm(layers) = &plan.body else {
+            unreachable!()
+        };
+        let wx = &layers[0].wx;
+        let k = batch_kernel(wx, 8, &plan.regions);
+        assert_eq!(k.flops, 8 * wx.flops);
+        // Weight read unchanged; the transient activation read scales.
+        assert_eq!(k.reads[0].bytes, wx.reads[0].bytes);
+        assert_eq!(k.reads[1].bytes, 8 * wx.reads[1].bytes);
+        assert_eq!(k.writes[0].bytes, 8 * wx.writes[0].bytes);
+        assert!(k.label.ends_with(" xB8"));
+        // A batched recurrent Sgemv becomes an Sgemm.
+        let LayerBody::Baseline { cells } = &layers[0].body else {
+            unreachable!()
+        };
+        let sgemm = batch_kernel(&cells[0].sgemv, 4, &plan.regions);
+        assert_eq!(sgemm.kind, KernelKind::Sgemm);
+        assert_eq!(sgemm.reads[0].bytes, cells[0].sgemv.reads[0].bytes);
+        // Batch of one is the identity.
+        assert_eq!(batch_kernel(wx, 1, &plan.regions), *wx);
+    }
+
+    #[test]
+    fn batched_run_is_cheaper_than_serial_per_sequence() {
+        let (net, seqs) = setup(24);
+        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+
+        let mut serial_time = 0.0;
+        for xs in &seqs {
+            let mut dev = GpuDevice::new(GpuConfig::tegra_x1());
+            let mut session = dev.begin_trace();
+            PlanRuntime::new().run_lstm(&plan, &net, xs, &mut session);
+            serial_time += session.finish().time_s;
+        }
+
+        let mut dev = GpuDevice::new(GpuConfig::tegra_x1());
+        let mut session = dev.begin_trace();
+        BatchRuntime::new().run_lstm_batch(&plan, &net, &seqs, &mut session);
+        let batched_time = session.finish().time_s;
+
+        assert!(
+            batched_time < serial_time / 2.0,
+            "batch-{} run should amortize weight loads: {batched_time} vs serial {serial_time}",
+            seqs.len()
+        );
+    }
+
+    #[test]
+    fn masked_template_batch_prices_union_across_sequences() {
+        use crate::drs::DrsMode;
+        use crate::regions::RegionAllocator;
+        use crate::schedule::F32;
+        let mut alloc = RegionAllocator::new();
+        let u = alloc.fresh();
+        let k =
+            crate::plan::MaskedUKernel::new("m", 3, 8, 1, u, DrsMode::Hardware, true, &mut alloc);
+        // Two sequences with disjoint active halves: the weight read
+        // covers the union (all rows), compute covers each half.
+        let lo: Vec<bool> = (0..8).map(|i| i < 4).collect();
+        let hi: Vec<bool> = (0..8).map(|i| i >= 4).collect();
+        let priced = k.instantiate_batch(&[lo.clone(), hi], 2);
+        assert_eq!(priced.reads[0].bytes, 3 * 8 * 8 * F32);
+        assert_eq!(priced.flops, 2 * 3 * 8 * 8); // 2 x half the rows
+        assert_eq!(priced.kind, KernelKind::Sgemm);
+        // One sequence prices like `instantiate`.
+        assert_eq!(
+            k.instantiate_batch(std::slice::from_ref(&lo), 1),
+            k.instantiate(std::slice::from_ref(&lo))
+        );
+    }
+
+    #[test]
+    fn batched_sgemv_priced_with_u_sgemv_regions() {
+        // Sanity: a u_sgemv kernel built against a real weight region is
+        // recognized as amortizable.
+        let mut alloc = crate::regions::RegionAllocator::new();
+        let regions = NetworkRegions::allocate(&mut alloc, 1);
+        let k = u_sgemv_kernel("Sgemv(U,h)", regions.layers[0].u_full, 32, 8, &mut alloc);
+        let batched = batch_kernel(&k, 4, &regions);
+        assert_eq!(batched.reads[0].bytes, k.reads[0].bytes);
+        assert_eq!(batched.reads[1].bytes, 4 * k.reads[1].bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let (net, seqs) = setup(25);
+        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        BatchRuntime::new().run_lstm_batch(&plan, &net, &[], &mut crate::plan::NullSink);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length")]
+    fn wrong_length_sequence_rejected() {
+        let (net, seqs) = setup(26);
+        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len() + 1);
+        BatchRuntime::new().run_lstm_batch(&plan, &net, &seqs, &mut crate::plan::NullSink);
+    }
+}

@@ -447,6 +447,28 @@ impl CellWeights {
         }
     }
 
+    /// Computes the `W_{f,i,c,o}·x_t` terms for a whole batch of input
+    /// columns through the GEMM-shaped packed path
+    /// ([`PackedMatrix::gemv_batch`]): each weight panel is walked once
+    /// and reused by every column. Entry `i` is bit-identical to
+    /// [`precompute_wx`](Self::precompute_wx)`(&xs[i])`.
+    ///
+    /// # Panics
+    /// Panics if any `xs[i].len() != input_dim`.
+    pub fn precompute_wx_batch(&self, xs: &[Vector]) -> Vec<GatePreacts> {
+        let p = self.packed();
+        let fs = p.wf.gemv_batch(xs);
+        let is = p.wi.gemv_batch(xs);
+        let cs = p.wc.gemv_batch(xs);
+        let os = p.wo.gemv_batch(xs);
+        fs.into_iter()
+            .zip(is)
+            .zip(cs)
+            .zip(os)
+            .map(|(((f, i), c), o)| GatePreacts { f, i, c, o })
+            .collect()
+    }
+
     /// One exact cell step (Eqs. 1–5) from precomputed `W·x` terms.
     pub fn step(&self, wx: &GatePreacts, h_prev: &Vector, c_prev: &Vector) -> (Vector, Vector) {
         let step = self.step_detailed(wx, h_prev, c_prev);

@@ -54,7 +54,7 @@ impl LstmLayer {
     /// cells' `W·x` terms computed up front, since the whole layer's
     /// inputs are ready when the layer starts (paper Sec. II-C).
     pub fn precompute_wx(&self, xs: &[Vector]) -> Vec<GatePreacts> {
-        xs.iter().map(|x| self.weights.precompute_wx(x)).collect()
+        self.weights.precompute_wx_batch(xs)
     }
 
     /// Executes the layer exactly (baseline numerics): the sequential

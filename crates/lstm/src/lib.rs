@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cell;
 pub mod config;
 pub mod drs;
@@ -38,6 +39,7 @@ pub mod plan;
 pub mod regions;
 pub mod schedule;
 
+pub use batch::{batch_kernel, BatchRuntime};
 pub use cell::{CellWeights, GatePreacts, GateVectors};
 pub use config::ModelConfig;
 pub use drs::{DrsConfig, DrsMode};

@@ -242,7 +242,35 @@ impl MaskedUKernel {
             self.batch,
             "mask count != planned batch"
         );
-        let (g, h, t) = (self.gates, self.hidden, self.batch);
+        self.price(masks)
+    }
+
+    /// Prices the template for `seqs` concurrent sequences sharing the
+    /// one weight load: `masks` concatenates each sequence's per-cell
+    /// masks (`seqs × batch` of them). DRAM traffic covers the union of
+    /// rows *any* sequence's cell keeps — cross-request amortization on
+    /// top of the per-tissue reuse — while compute, activations, and
+    /// writes scale with the full `seqs × batch` cell count.
+    ///
+    /// `instantiate_batch(masks, 1)` prices identically to
+    /// [`instantiate`](Self::instantiate).
+    ///
+    /// # Panics
+    /// Asserts that `masks.len() == seqs × batch`.
+    pub fn instantiate_batch(&self, masks: &[Vec<bool>], seqs: usize) -> KernelDesc {
+        assert_eq!(
+            masks.len() as u64,
+            self.batch * seqs as u64,
+            "MaskedUKernel::instantiate_batch: {} masks for {} sequences of batch {}",
+            masks.len(),
+            seqs,
+            self.batch
+        );
+        self.price(masks)
+    }
+
+    fn price(&self, masks: &[Vec<bool>]) -> KernelDesc {
+        let (g, h, t) = (self.gates, self.hidden, masks.len() as u64);
         let union = union_active(masks);
         let union_rows = union.iter().filter(|&&a| a).count() as u64;
         let active_total: u64 = masks
@@ -627,7 +655,7 @@ impl SkipStats {
         }
     }
 
-    fn push(&mut self, frac: f64) {
+    pub(crate) fn push(&mut self, frac: f64) {
         self.sum += frac;
         self.count += 1;
     }

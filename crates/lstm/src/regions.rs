@@ -78,6 +78,24 @@ impl NetworkRegions {
         }
     }
 
+    /// Whether `region` is one of the network's persistent weight regions
+    /// (a layer's `U`/`W`/bias slices or the classifier head).
+    ///
+    /// Persistence is what batching exploits: a batched kernel reads its
+    /// weight region *once* for the whole batch, while transient
+    /// activation regions scale with the batch size. The batched-kernel
+    /// derivation in `lstm::batch` keys off this predicate.
+    pub fn is_weight(&self, region: RegionId) -> bool {
+        self.head == region
+            || self.layers.iter().any(|l| {
+                l.u_full == region
+                    || l.u_o == region
+                    || l.u_fic == region
+                    || l.w == region
+                    || l.bias == region
+            })
+    }
+
     /// Declares every weight region's nominal size on a device so it can
     /// report reload factors (paper Sec. III-A).
     pub fn declare_on(
@@ -122,6 +140,20 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(all.len(), dedup.len(), "region ids must be unique");
+    }
+
+    #[test]
+    fn is_weight_covers_exactly_the_persistent_regions() {
+        let mut alloc = RegionAllocator::new();
+        let regions = NetworkRegions::allocate(&mut alloc, 2);
+        for l in &regions.layers {
+            for r in [l.u_full, l.u_o, l.u_fic, l.w, l.bias] {
+                assert!(regions.is_weight(r));
+            }
+        }
+        assert!(regions.is_weight(regions.head));
+        // A transient region allocated afterwards is not a weight.
+        assert!(!regions.is_weight(alloc.fresh()));
     }
 
     #[test]

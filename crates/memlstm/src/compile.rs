@@ -24,6 +24,7 @@
 
 use crate::breakpoints::find_breakpoints;
 use crate::division::{divide, SubLayer};
+use crate::error::Error;
 use crate::exec::OptimizerConfig;
 use crate::prediction::NetworkPredictors;
 use crate::relevance::{relevance_flops, RelevanceAnalyzer};
@@ -52,7 +53,8 @@ use tensor::Vector;
 /// # Panics
 /// Panics if `probes` is empty, any probe is empty or differs in length,
 /// or (when `config.inter` is set) if `analyzers` does not cover every
-/// layer.
+/// layer. [`try_compile`] returns these conditions as typed errors
+/// instead.
 pub fn compile(
     net: &LstmNetwork,
     predictors: &NetworkPredictors,
@@ -60,19 +62,36 @@ pub fn compile(
     config: &OptimizerConfig,
     probes: &[Vec<Vector>],
 ) -> ExecutionPlan {
-    assert!(!probes.is_empty(), "compile: no probe sequences");
+    try_compile(net, predictors, analyzers, config, probes).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`compile`]: returns a typed [`Error`] instead of
+/// panicking on malformed probe sets or missing analyzers.
+pub fn try_compile(
+    net: &LstmNetwork,
+    predictors: &NetworkPredictors,
+    analyzers: &[RelevanceAnalyzer],
+    config: &OptimizerConfig,
+    probes: &[Vec<Vector>],
+) -> Result<ExecutionPlan, Error> {
+    if probes.is_empty() {
+        return Err(Error::NoProbes);
+    }
     let seq_len = probes[0].len();
-    assert!(seq_len > 0, "compile: empty probe sequence");
-    assert!(
-        probes.iter().all(|p| p.len() == seq_len),
-        "compile: probe sequences must share one length"
-    );
-    if config.inter {
-        assert_eq!(
-            analyzers.len(),
-            net.layers().len(),
-            "compile: analyzer per layer required"
-        );
+    if seq_len == 0 {
+        return Err(Error::EmptyProbe);
+    }
+    if let Some(bad) = probes.iter().find(|p| p.len() != seq_len) {
+        return Err(Error::ProbeLengthMismatch {
+            expected: seq_len,
+            actual: bad.len(),
+        });
+    }
+    if config.inter && analyzers.len() != net.layers().len() {
+        return Err(Error::AnalyzerCount {
+            expected: net.layers().len(),
+            actual: analyzers.len(),
+        });
     }
     let cfg = net.config();
     let mut alloc = RegionAllocator::new();
@@ -133,12 +152,12 @@ pub fn compile(
         });
     }
     let head = head_kernel(regions.head, cfg.num_classes, cfg.hidden_size, &mut alloc);
-    ExecutionPlan {
+    Ok(ExecutionPlan {
         regions,
         seq_len,
         body: PlanBody::Lstm(layers),
         head,
-    }
+    })
 }
 
 /// Per-link relevances combined across probes by averaging: the offline

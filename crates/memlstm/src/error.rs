@@ -1,0 +1,129 @@
+//! Typed errors for plan compilation, execution, and serving.
+//!
+//! Mirrors `tensor::error`: a small enum with a precise `Display` per
+//! failure, implementing [`std::error::Error`]. The panicking entry
+//! points (`compile`, `OptimizedExecutor::run`, ...) are thin wrappers
+//! over the fallible `try_*` variants that format these errors, so the
+//! panic messages and the `Err` values never drift apart.
+
+use std::fmt;
+
+/// Everything that can go wrong compiling, executing, or serving a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// `compile` was given no probe sequences.
+    NoProbes,
+    /// A probe sequence was empty.
+    EmptyProbe,
+    /// Probe sequences differ in length.
+    ProbeLengthMismatch {
+        /// Length of the first probe.
+        expected: usize,
+        /// The offending probe's length.
+        actual: usize,
+    },
+    /// `config.inter` is set but the analyzers don't cover every layer.
+    AnalyzerCount {
+        /// Network layer count.
+        expected: usize,
+        /// Analyzers supplied.
+        actual: usize,
+    },
+    /// An execution entry point was given an empty input sequence.
+    EmptyInput,
+    /// An input sequence does not match the plan's compiled length.
+    SeqLenMismatch {
+        /// The plan's compiled sequence length.
+        expected: usize,
+        /// The input's length.
+        actual: usize,
+    },
+    /// The plan's layer stack does not match the network.
+    LayerCountMismatch {
+        /// Layers in the plan.
+        plan: usize,
+        /// Layers in the network.
+        network: usize,
+    },
+    /// An LSTM entry point was given a plan compiled for a GRU network.
+    GruPlan,
+    /// The serve queue is at capacity; retry after a round completes.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoProbes => write!(f, "compile: no probe sequences"),
+            Error::EmptyProbe => write!(f, "compile: empty probe sequence"),
+            Error::ProbeLengthMismatch { expected, actual } => write!(
+                f,
+                "compile: probe sequences must share one length (expected {expected}, got {actual})"
+            ),
+            Error::AnalyzerCount { expected, actual } => write!(
+                f,
+                "compile: analyzer per layer required ({actual} analyzers for {expected} layers)"
+            ),
+            Error::EmptyInput => write!(f, "empty input"),
+            Error::SeqLenMismatch { expected, actual } => write!(
+                f,
+                "plan compiled for sequence length {expected}, got {actual}"
+            ),
+            Error::LayerCountMismatch { plan, network } => write!(
+                f,
+                "plan/network layer count mismatch (plan has {plan}, network has {network})"
+            ),
+            Error::GruPlan => write!(f, "plan was compiled for a GRU network"),
+            Error::QueueFull { capacity } => {
+                write!(f, "serve queue full ({capacity} pending requests)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias for fallible memlstm operations.
+pub type MemlstmResult<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_keep_the_legacy_panic_substrings() {
+        // The panicking wrappers format these errors, and several tests
+        // (here and downstream) pin the legacy substrings via
+        // `should_panic(expected = ...)`.
+        assert_eq!(Error::NoProbes.to_string(), "compile: no probe sequences");
+        assert_eq!(
+            Error::EmptyProbe.to_string(),
+            "compile: empty probe sequence"
+        );
+        assert!(Error::ProbeLengthMismatch {
+            expected: 4,
+            actual: 2
+        }
+        .to_string()
+        .contains("must share one length"));
+        assert_eq!(Error::EmptyInput.to_string(), "empty input");
+        assert!(Error::SeqLenMismatch {
+            expected: 8,
+            actual: 3
+        }
+        .to_string()
+        .contains("sequence length 8, got 3"));
+        assert!(Error::QueueFull { capacity: 2 }
+            .to_string()
+            .contains("queue full"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::EmptyInput);
+        assert_eq!(e.to_string(), "empty input");
+    }
+}

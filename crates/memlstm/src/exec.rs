@@ -13,6 +13,7 @@
 //! `Evaluator` in the `thresholds` module does.
 
 use crate::drs::DrsConfig;
+use crate::error::Error;
 use crate::prediction::NetworkPredictors;
 use crate::relevance::RelevanceAnalyzer;
 use lstm::plan::{ExecutionPlan, PlanOutput, PlanRuntime, TraceCollector};
@@ -46,43 +47,122 @@ pub struct OptimizerConfig {
 }
 
 impl OptimizerConfig {
-    /// Inter-cell optimization only (Fig. 14's "inter" bars).
-    pub fn inter_only(alpha_inter: f64, mts: usize) -> Self {
-        Self {
-            inter: true,
-            alpha_inter,
-            mts,
-            drs: DrsConfig::disabled(),
-            align: true,
-            balanced_schedule: false,
-            use_predicted_link: true,
+    /// Starts building a configuration from the paper defaults: both
+    /// levels disabled, alignment on, predicted-link recovery on.
+    ///
+    /// ```
+    /// use memlstm::drs::{DrsConfig, DrsMode};
+    /// use memlstm::exec::OptimizerConfig;
+    ///
+    /// let combined = OptimizerConfig::builder()
+    ///     .alpha_inter(1.0)
+    ///     .max_tissue_size(5)
+    ///     .drs(DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware })
+    ///     .build();
+    /// assert!(combined.inter && combined.intra_enabled());
+    /// ```
+    pub fn builder() -> OptimizerConfigBuilder {
+        OptimizerConfigBuilder {
+            config: Self {
+                inter: false,
+                alpha_inter: 0.0,
+                mts: 1,
+                drs: DrsConfig::disabled(),
+                align: true,
+                balanced_schedule: false,
+                use_predicted_link: true,
+            },
         }
+    }
+
+    /// Inter-cell optimization only (Fig. 14's "inter" bars).
+    #[deprecated(note = "use OptimizerConfig::builder().alpha_inter(..).max_tissue_size(..)")]
+    pub fn inter_only(alpha_inter: f64, mts: usize) -> Self {
+        Self::builder()
+            .alpha_inter(alpha_inter)
+            .max_tissue_size(mts)
+            .build()
     }
 
     /// Intra-cell optimization only (Fig. 14's "intra" bars).
+    #[deprecated(note = "use OptimizerConfig::builder().drs(..)")]
     pub fn intra_only(drs: DrsConfig) -> Self {
-        Self {
-            inter: false,
-            alpha_inter: 0.0,
-            mts: 1,
-            drs,
-            align: true,
-            balanced_schedule: false,
-            use_predicted_link: true,
-        }
+        Self::builder().drs(drs).build()
     }
 
     /// Both levels combined (Fig. 14's "overall" bars).
+    #[deprecated(
+        note = "use OptimizerConfig::builder().alpha_inter(..).max_tissue_size(..).drs(..)"
+    )]
     pub fn combined(alpha_inter: f64, mts: usize, drs: DrsConfig) -> Self {
-        Self {
-            drs,
-            ..Self::inter_only(alpha_inter, mts)
-        }
+        Self::builder()
+            .alpha_inter(alpha_inter)
+            .max_tissue_size(mts)
+            .drs(drs)
+            .build()
     }
 
     /// Whether the intra-cell level is active.
     pub fn intra_enabled(&self) -> bool {
         self.drs.is_enabled()
+    }
+}
+
+/// Builds an [`OptimizerConfig`] field by field from the paper defaults.
+///
+/// Created by [`OptimizerConfig::builder`]. Setting
+/// [`alpha_inter`](Self::alpha_inter) enables the inter-cell level;
+/// setting [`drs`](Self::drs) with a non-zero `alpha_intra` enables the
+/// intra-cell level; everything else has the paper-default value until
+/// overridden.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfigBuilder {
+    config: OptimizerConfig,
+}
+
+impl OptimizerConfigBuilder {
+    /// Enables the inter-cell level with relevance threshold `α_inter`
+    /// (links with `S <= α_inter` break).
+    pub fn alpha_inter(mut self, alpha_inter: f64) -> Self {
+        self.config.inter = true;
+        self.config.alpha_inter = alpha_inter;
+        self
+    }
+
+    /// Sets the maximum tissue size from the offline MTS sweep.
+    pub fn max_tissue_size(mut self, mts: usize) -> Self {
+        self.config.mts = mts;
+        self
+    }
+
+    /// Sets the Dynamic Row Skip configuration (intra-cell level).
+    pub fn drs(mut self, drs: DrsConfig) -> Self {
+        self.config.drs = drs;
+        self
+    }
+
+    /// Toggles tissue alignment (paper default `true`; `false` is the
+    /// Fig. 8b1 ablation).
+    pub fn align(mut self, align: bool) -> Self {
+        self.config.align = align;
+        self
+    }
+
+    /// Toggles the beyond-paper longest-first scheduler.
+    pub fn balanced_schedule(mut self, balanced: bool) -> Self {
+        self.config.balanced_schedule = balanced;
+        self
+    }
+
+    /// Toggles Eq. 6 predicted-link recovery (paper default `true`).
+    pub fn use_predicted_link(mut self, use_predicted_link: bool) -> Self {
+        self.config.use_predicted_link = use_predicted_link;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> OptimizerConfig {
+        self.config
     }
 }
 
@@ -201,10 +281,16 @@ impl<'a> OptimizedExecutor<'a> {
     /// tissue alignment) once.
     ///
     /// # Panics
-    /// Panics if `probe` is empty.
+    /// Panics if `probe` is empty. [`try_plan`](Self::try_plan) returns
+    /// the condition as a typed error instead.
     pub fn plan(&self, probe: &[Vector]) -> ExecutionPlan {
+        self.try_plan(probe).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`plan`](Self::plan).
+    pub fn try_plan(&self, probe: &[Vector]) -> Result<ExecutionPlan, Error> {
         let probe = probe.to_vec();
-        self.plan_probes(std::slice::from_ref(&probe))
+        self.try_plan_probes(std::slice::from_ref(&probe))
     }
 
     /// Compiles an [`ExecutionPlan`] against a whole offline set: per-link
@@ -215,9 +301,16 @@ impl<'a> OptimizedExecutor<'a> {
     ///
     /// # Panics
     /// Panics if `probes` is empty, or the sequences are empty or differ
-    /// in length.
+    /// in length. [`try_plan_probes`](Self::try_plan_probes) returns
+    /// these conditions as typed errors instead.
     pub fn plan_probes(&self, probes: &[Vec<Vector>]) -> ExecutionPlan {
-        crate::compile::compile(
+        self.try_plan_probes(probes)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`plan_probes`](Self::plan_probes).
+    pub fn try_plan_probes(&self, probes: &[Vec<Vector>]) -> Result<ExecutionPlan, Error> {
+        crate::compile::try_compile(
             self.net,
             self.predictors,
             &self.analyzers,
@@ -229,9 +322,15 @@ impl<'a> OptimizedExecutor<'a> {
     /// Runs the network, returning the numbers + trace.
     ///
     /// # Panics
-    /// Panics if `xs` is empty.
+    /// Panics if `xs` is empty. [`try_run`](Self::try_run) returns the
+    /// condition as a typed error instead.
     pub fn run(&self, xs: &[Vector]) -> NetworkRun {
         self.run_detailed(xs).0
+    }
+
+    /// Fallible form of [`run`](Self::run).
+    pub fn try_run(&self, xs: &[Vector]) -> Result<NetworkRun, Error> {
+        Ok(self.try_run_detailed(xs)?.0)
     }
 
     /// Runs the network, also returning per-layer optimization statistics.
@@ -243,13 +342,23 @@ impl<'a> OptimizedExecutor<'a> {
     ///
     /// # Panics
     /// Panics if `xs` is empty.
+    /// [`try_run_detailed`](Self::try_run_detailed) returns the condition
+    /// as a typed error instead.
     pub fn run_detailed(&self, xs: &[Vector]) -> (NetworkRun, OptRunStats) {
-        assert!(!xs.is_empty(), "OptimizedExecutor::run: empty input");
-        let plan = self.plan(xs);
+        self.try_run_detailed(xs)
+            .unwrap_or_else(|e| panic!("OptimizedExecutor::run: {e}"))
+    }
+
+    /// Fallible form of [`run_detailed`](Self::run_detailed).
+    pub fn try_run_detailed(&self, xs: &[Vector]) -> Result<(NetworkRun, OptRunStats), Error> {
+        if xs.is_empty() {
+            return Err(Error::EmptyInput);
+        }
+        let plan = self.try_plan(xs)?;
         let mut collector = TraceCollector::default();
         let output = PlanRuntime::new().run_lstm(&plan, self.net, xs, &mut collector);
         let stats = OptRunStats::from_plan_run(&plan, &output);
-        (collector.into_network_run(plan.regions, output), stats)
+        Ok((collector.into_network_run(plan.regions, output), stats))
     }
 }
 
@@ -304,9 +413,40 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_equal_their_builder_spellings() {
+        let drs = DrsConfig {
+            alpha_intra: 0.05,
+            mode: DrsMode::Hardware,
+        };
+        assert_eq!(
+            OptimizerConfig::inter_only(1.5, 4),
+            OptimizerConfig::builder()
+                .alpha_inter(1.5)
+                .max_tissue_size(4)
+                .build()
+        );
+        assert_eq!(
+            OptimizerConfig::intra_only(drs),
+            OptimizerConfig::builder().drs(drs).build()
+        );
+        assert_eq!(
+            OptimizerConfig::combined(1.5, 4, drs),
+            OptimizerConfig::builder()
+                .alpha_inter(1.5)
+                .max_tissue_size(4)
+                .drs(drs)
+                .build()
+        );
+    }
+
+    #[test]
     fn zero_thresholds_reproduce_baseline_numerics() {
         let (net, xs, preds) = setup(24, 2, 8);
-        let cfg = OptimizerConfig::combined(0.0, 4, DrsConfig::disabled());
+        let cfg = OptimizerConfig::builder()
+            .alpha_inter(0.0)
+            .max_tissue_size(4)
+            .build();
         let run = OptimizedExecutor::new(&net, &preds, cfg).run(&xs);
         let exact = net.forward(&xs);
         assert_eq!(run.logits, exact.logits);
@@ -318,10 +458,12 @@ mod tests {
     #[test]
     fn intra_only_zero_alpha_matches_baseline() {
         let (net, xs, preds) = setup(16, 1, 6);
-        let cfg = OptimizerConfig::intra_only(DrsConfig {
-            alpha_intra: 0.0,
-            mode: DrsMode::Hardware,
-        });
+        let cfg = OptimizerConfig::builder()
+            .drs(DrsConfig {
+                alpha_intra: 0.0,
+                mode: DrsMode::Hardware,
+            })
+            .build();
         // alpha 0 -> DRS disabled -> plain baseline flow.
         let run = OptimizedExecutor::new(&net, &preds, cfg).run(&xs);
         assert_eq!(run.logits, net.forward(&xs).logits);
@@ -330,10 +472,12 @@ mod tests {
     #[test]
     fn intra_only_small_alpha_stays_close_to_exact() {
         let (net, xs, preds) = setup(32, 2, 8);
-        let cfg = OptimizerConfig::intra_only(DrsConfig {
-            alpha_intra: 0.02,
-            mode: DrsMode::Hardware,
-        });
+        let cfg = OptimizerConfig::builder()
+            .drs(DrsConfig {
+                alpha_intra: 0.02,
+                mode: DrsMode::Hardware,
+            })
+            .build();
         let run = OptimizedExecutor::new(&net, &preds, cfg).run(&xs);
         let exact = net.forward(&xs);
         let diff = run.logits.sub(&exact.logits).max_abs();
@@ -344,10 +488,12 @@ mod tests {
     fn intra_skip_fraction_grows_with_alpha() {
         let (net, xs, preds) = setup(48, 1, 6);
         let frac_at = |alpha: f32| {
-            let cfg = OptimizerConfig::intra_only(DrsConfig {
-                alpha_intra: alpha,
-                mode: DrsMode::Hardware,
-            });
+            let cfg = OptimizerConfig::builder()
+                .drs(DrsConfig {
+                    alpha_intra: alpha,
+                    mode: DrsMode::Hardware,
+                })
+                .build();
             let (_, stats) = OptimizedExecutor::new(&net, &preds, cfg).run_detailed(&xs);
             stats.mean_skip_fraction()
         };
@@ -366,7 +512,10 @@ mod tests {
     #[test]
     fn inter_with_huge_threshold_breaks_everything() {
         let (net, xs, preds) = setup(16, 1, 8);
-        let cfg = OptimizerConfig::inter_only(RelevanceAnalyzer::max_relevance() + 1.0, 4);
+        let cfg = OptimizerConfig::builder()
+            .alpha_inter(RelevanceAnalyzer::max_relevance() + 1.0)
+            .max_tissue_size(4)
+            .build();
         let (run, stats) = OptimizedExecutor::new(&net, &preds, cfg).run_detailed(&xs);
         assert_eq!(stats.per_layer[0].breakpoints, 7);
         assert_eq!(stats.per_layer[0].sublayers, 8);
@@ -377,7 +526,10 @@ mod tests {
     #[test]
     fn inter_trace_loads_weights_once_per_tissue() {
         let (net, xs, preds) = setup(64, 1, 12);
-        let cfg = OptimizerConfig::inter_only(RelevanceAnalyzer::max_relevance() + 1.0, 4);
+        let cfg = OptimizerConfig::builder()
+            .alpha_inter(RelevanceAnalyzer::max_relevance() + 1.0)
+            .max_tissue_size(4)
+            .build();
         let (run, stats) = OptimizedExecutor::new(&net, &preds, cfg).run_detailed(&xs);
         let sgemm_u: usize = run.layers[0]
             .trace
@@ -391,14 +543,14 @@ mod tests {
     #[test]
     fn combined_runs_and_skips() {
         let (net, xs, preds) = setup(32, 2, 10);
-        let cfg = OptimizerConfig::combined(
-            RelevanceAnalyzer::max_relevance() / 8.0,
-            4,
-            DrsConfig {
+        let cfg = OptimizerConfig::builder()
+            .alpha_inter(RelevanceAnalyzer::max_relevance() / 8.0)
+            .max_tissue_size(4)
+            .drs(DrsConfig {
                 alpha_intra: 0.1,
                 mode: DrsMode::Hardware,
-            },
-        );
+            })
+            .build();
         let (run, stats) = OptimizedExecutor::new(&net, &preds, cfg).run_detailed(&xs);
         assert_eq!(run.layers.len(), 2);
         assert!(stats.mean_skip_fraction() > 0.05);
@@ -414,14 +566,14 @@ mod tests {
         let mut dev = GpuDevice::new(GpuConfig::tegra_x1());
         let base = dev.run_trace(base_run.trace());
 
-        let cfg = OptimizerConfig::combined(
-            RelevanceAnalyzer::max_relevance() + 1.0,
-            5,
-            DrsConfig {
+        let cfg = OptimizerConfig::builder()
+            .alpha_inter(RelevanceAnalyzer::max_relevance() + 1.0)
+            .max_tissue_size(5)
+            .drs(DrsConfig {
                 alpha_intra: 0.1,
                 mode: DrsMode::Hardware,
-            },
-        );
+            })
+            .build();
         let opt_run = OptimizedExecutor::new(&net, &preds, cfg).run(&xs);
         dev.reset();
         let opt = dev.run_trace(opt_run.trace());
@@ -445,26 +597,17 @@ mod tests {
         for _ in 0..6 {
             let xs = lstm::random_inputs(&config, &mut rng);
             let exact = net.forward(&xs).logits;
-            let with_pred = OptimizedExecutor::new(
-                &net,
-                &preds,
-                OptimizerConfig {
-                    use_predicted_link: true,
-                    ..OptimizerConfig::inter_only(alpha, 5)
-                },
-            )
-            .run(&xs)
-            .logits;
-            let with_zero = OptimizedExecutor::new(
-                &net,
-                &preds,
-                OptimizerConfig {
-                    use_predicted_link: false,
-                    ..OptimizerConfig::inter_only(alpha, 5)
-                },
-            )
-            .run(&xs)
-            .logits;
+            let inter = OptimizerConfig::builder()
+                .alpha_inter(alpha)
+                .max_tissue_size(5);
+            let with_pred =
+                OptimizedExecutor::new(&net, &preds, inter.use_predicted_link(true).build())
+                    .run(&xs)
+                    .logits;
+            let with_zero =
+                OptimizedExecutor::new(&net, &preds, inter.use_predicted_link(false).build())
+                    .run(&xs)
+                    .logits;
             err_pred += f64::from(exact.sub(&with_pred).norm());
             err_zero += f64::from(exact.sub(&with_zero).norm());
         }
@@ -481,7 +624,10 @@ mod tests {
     fn every_cell_output_produced_exactly_once() {
         let (net, xs, preds) = setup(16, 1, 9);
         // Use a threshold that produces a nontrivial division.
-        let cfg = OptimizerConfig::inter_only(RelevanceAnalyzer::max_relevance() / 6.0, 3);
+        let cfg = OptimizerConfig::builder()
+            .alpha_inter(RelevanceAnalyzer::max_relevance() / 6.0)
+            .max_tissue_size(3)
+            .build();
         let run = OptimizedExecutor::new(&net, &preds, cfg).run(&xs);
         assert_eq!(run.layers[0].hs.len(), 9);
         for h in &run.layers[0].hs {
@@ -495,14 +641,14 @@ mod tests {
         // must equal the one-shot facade run bit for bit — numerics and
         // kernel stream alike.
         let (net, xs, preds) = setup(32, 2, 10);
-        let cfg = OptimizerConfig::combined(
-            RelevanceAnalyzer::max_relevance() / 6.0,
-            4,
-            DrsConfig {
+        let cfg = OptimizerConfig::builder()
+            .alpha_inter(RelevanceAnalyzer::max_relevance() / 6.0)
+            .max_tissue_size(4)
+            .drs(DrsConfig {
                 alpha_intra: 0.08,
                 mode: DrsMode::Hardware,
-            },
-        );
+            })
+            .build();
         let exec = OptimizedExecutor::new(&net, &preds, cfg);
         let (run, stats) = exec.run_detailed(&xs);
 
@@ -526,6 +672,10 @@ mod tests {
     #[should_panic(expected = "empty input")]
     fn empty_input_panics() {
         let (net, _, preds) = setup(8, 1, 4);
-        OptimizedExecutor::new(&net, &preds, OptimizerConfig::inter_only(1.0, 2)).run(&[]);
+        let cfg = OptimizerConfig::builder()
+            .alpha_inter(1.0)
+            .max_tissue_size(2)
+            .build();
+        OptimizedExecutor::new(&net, &preds, cfg).run(&[]);
     }
 }

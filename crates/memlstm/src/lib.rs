@@ -38,11 +38,11 @@
 //! let offline = vec![lstm::random_inputs(&config, &mut rng)];
 //! let predictors = NetworkPredictors::collect(&net, &offline);
 //!
-//! let opts = OptimizerConfig::combined(
-//!     1.0, // alpha_inter
-//!     5,   // maximum tissue size
-//!     DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware },
-//! );
+//! let opts = OptimizerConfig::builder()
+//!     .alpha_inter(1.0)
+//!     .max_tissue_size(5)
+//!     .drs(DrsConfig { alpha_intra: 0.05, mode: DrsMode::Hardware })
+//!     .build();
 //! let xs = lstm::random_inputs(&config, &mut rng);
 //! let run = OptimizedExecutor::new(&net, &predictors, opts).run(&xs);
 //! assert_eq!(run.layers[0].hs.len(), 6);
@@ -55,6 +55,7 @@ pub mod breakpoints;
 pub mod compile;
 pub mod division;
 pub mod drs;
+pub mod error;
 pub mod exec;
 pub mod gru_drs;
 pub mod mts;
@@ -62,6 +63,7 @@ pub mod overhead;
 pub mod prediction;
 pub mod pruning;
 pub mod relevance;
+pub mod serve;
 pub mod thresholds;
 pub mod tissue;
 pub mod tuner;
@@ -70,12 +72,14 @@ pub mod user_study;
 pub use breakpoints::find_breakpoints;
 pub use division::{divide, SubLayer};
 pub use drs::{trivial_row_mask, DrsConfig, DrsMode};
-pub use exec::{OptimizedExecutor, OptimizerConfig};
+pub use error::{Error, MemlstmResult};
+pub use exec::{OptimizedExecutor, OptimizerConfig, OptimizerConfigBuilder};
 pub use gru_drs::GruDrsExecutor;
 pub use mts::{determine_mts, MtsResult, MtsSample};
 pub use prediction::{LinkPredictor, NetworkPredictors};
 pub use pruning::ZeroPruning;
 pub use relevance::RelevanceAnalyzer;
+pub use serve::{Completion, Request, RoundReport, ServeConfig, ServeEngine};
 pub use thresholds::{select_ao, select_bpa, threshold_sets, ThresholdSet, TradeoffPoint};
 pub use tissue::{form_tissues, schedule_tissues, Tissue};
 pub use tuner::UoTuner;

@@ -98,14 +98,14 @@ mod tests {
             .map(|_| lstm::random_inputs(&config, &mut rng))
             .collect();
         let preds = NetworkPredictors::collect(&net, &offline);
-        let cfg = OptimizerConfig::combined(
-            RelevanceAnalyzer::max_relevance() / 4.0,
-            5,
-            DrsConfig {
+        let cfg = OptimizerConfig::builder()
+            .alpha_inter(RelevanceAnalyzer::max_relevance() / 4.0)
+            .max_tissue_size(5)
+            .drs(DrsConfig {
                 alpha_intra: 0.1,
                 mode: DrsMode::Hardware,
-            },
-        );
+            })
+            .build();
         OptimizedExecutor::new(&net, &preds, cfg).run(&xs)
     }
 

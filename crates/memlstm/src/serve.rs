@@ -1,0 +1,478 @@
+//! Batched multi-request inference serving for one compiled plan.
+//!
+//! A mobile assistant rarely runs one query at a time: speech, translation,
+//! and keyboard prediction requests overlap. Each request alone re-streams
+//! every `U` matrix from DRAM per timestep — the exact bottleneck the paper
+//! measures (Fig. 4/6). [`ServeEngine`] exploits the overlap: requests that
+//! have arrived by the current simulated clock are ganged into one batch
+//! and executed in lockstep by [`BatchRuntime`], so every weight load is
+//! amortized across the whole gang (see `lstm::batch`).
+//!
+//! The engine is *round based*: all requests share the plan's compiled
+//! sequence length, so a gang starts together and finishes together, and
+//! new arrivals join at the next round boundary. Admission each round is
+//! deadline-aware: eligible requests are ordered earliest-deadline-first
+//! (no deadline sorts last), ties broken FIFO by submission order, and the
+//! first `max_batch` are taken. Time is fully simulated — the clock
+//! advances by each round's simulated GPU time — so serving runs are
+//! deterministic and reproducible.
+//!
+//! Per-sequence outputs are **bit-identical** to running each request
+//! alone through [`PlanRuntime`](lstm::plan::PlanRuntime); batching
+//! changes only the kernel stream, never the numbers.
+
+use crate::error::{Error, MemlstmResult};
+use gpu_sim::{GpuConfig, GpuDevice};
+use lstm::batch::BatchRuntime;
+use lstm::network::LstmNetwork;
+use lstm::plan::{ExecutionPlan, PlanBody};
+use tensor::Vector;
+
+/// Tunables for the serve engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum requests ganged into one round (the batch size cap).
+    pub max_batch: usize,
+    /// Maximum pending requests; [`ServeEngine::submit`] returns
+    /// [`Error::QueueFull`] beyond this.
+    pub queue_capacity: usize,
+    /// The simulated device each round is priced on.
+    pub gpu: GpuConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            queue_capacity: 64,
+            gpu: GpuConfig::tegra_x1(),
+        }
+    }
+}
+
+/// One inference request in the open-loop arrival model.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed in the [`Completion`].
+    pub id: u64,
+    /// The input sequence; must match the plan's compiled length.
+    pub xs: Vec<Vector>,
+    /// Simulated arrival time. A request is only eligible for admission
+    /// once the clock has reached it.
+    pub arrival_s: f64,
+    /// Optional deadline; earlier deadlines are admitted first.
+    pub deadline_s: Option<f64>,
+}
+
+/// The result of serving one request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// Head logits, bit-identical to a batch-of-one run.
+    pub logits: Vector,
+    /// Simulated time the request's round finished.
+    pub finish_s: f64,
+    /// `finish_s - arrival_s`: queueing delay plus round execution.
+    pub latency_s: f64,
+    /// Size of the gang the request was served in.
+    pub batch: usize,
+}
+
+/// Summary of one executed round.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round index, starting at 0.
+    pub round: usize,
+    /// Requests ganged this round.
+    pub batch: usize,
+    /// Simulated clock when the round started.
+    pub start_s: f64,
+    /// Simulated GPU time of the round's batched kernel stream.
+    pub time_s: f64,
+    /// Ids served, in admission order.
+    pub ids: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    request: Request,
+    /// FIFO tiebreak: position in submission order.
+    seq: u64,
+}
+
+/// Round-based batched serving of one compiled [`ExecutionPlan`].
+///
+/// Submit requests with [`submit`](Self::submit), then run rounds with
+/// [`step`](Self::step) or serve everything with
+/// [`drain`](Self::drain).
+#[derive(Debug)]
+pub struct ServeEngine<'a> {
+    plan: &'a ExecutionPlan,
+    net: &'a LstmNetwork,
+    config: ServeConfig,
+    queue: Vec<Pending>,
+    rounds: Vec<RoundReport>,
+    completed: Vec<Completion>,
+    runtime: BatchRuntime,
+    clock_s: f64,
+    submitted: u64,
+}
+
+impl<'a> ServeEngine<'a> {
+    /// Creates an engine for `plan` over `net`.
+    ///
+    /// # Errors
+    /// [`Error::GruPlan`] if the plan was compiled for a GRU network, or
+    /// [`Error::LayerCountMismatch`] if the plan and network disagree.
+    pub fn new(
+        plan: &'a ExecutionPlan,
+        net: &'a LstmNetwork,
+        config: ServeConfig,
+    ) -> MemlstmResult<Self> {
+        let PlanBody::Lstm(layer_plans) = &plan.body else {
+            return Err(Error::GruPlan);
+        };
+        if layer_plans.len() != net.layers().len() {
+            return Err(Error::LayerCountMismatch {
+                plan: layer_plans.len(),
+                network: net.layers().len(),
+            });
+        }
+        Ok(Self {
+            plan,
+            net,
+            config,
+            queue: Vec::new(),
+            rounds: Vec::new(),
+            completed: Vec::new(),
+            runtime: BatchRuntime::new(),
+            clock_s: 0.0,
+            submitted: 0,
+        })
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Errors
+    /// [`Error::EmptyInput`] for an empty sequence,
+    /// [`Error::SeqLenMismatch`] if the sequence does not match the plan's
+    /// compiled length, and [`Error::QueueFull`] at capacity.
+    pub fn submit(&mut self, request: Request) -> MemlstmResult<()> {
+        if request.xs.is_empty() {
+            return Err(Error::EmptyInput);
+        }
+        if request.xs.len() != self.plan.seq_len {
+            return Err(Error::SeqLenMismatch {
+                expected: self.plan.seq_len,
+                actual: request.xs.len(),
+            });
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            return Err(Error::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let seq = self.submitted;
+        self.submitted += 1;
+        self.queue.push(Pending { request, seq });
+        Ok(())
+    }
+
+    /// Pending requests not yet served.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The current simulated clock.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Reports for the rounds executed so far.
+    pub fn rounds(&self) -> &[RoundReport] {
+        &self.rounds
+    }
+
+    /// Completions accumulated so far, in service order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completed
+    }
+
+    /// Runs one round: admits up to `max_batch` eligible requests
+    /// (earliest-deadline-first, FIFO tiebreak), executes them in
+    /// lockstep on a fresh simulated device, and advances the clock by
+    /// the round's simulated time.
+    ///
+    /// Returns `None` if the queue is empty. If no queued request has
+    /// arrived yet the clock first jumps to the earliest arrival (the
+    /// device would otherwise sit idle).
+    pub fn step(&mut self) -> Option<RoundReport> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let earliest = self
+            .queue
+            .iter()
+            .map(|p| p.request.arrival_s)
+            .fold(f64::INFINITY, f64::min);
+        if earliest > self.clock_s {
+            self.clock_s = earliest;
+        }
+        let mut eligible: Vec<usize> = (0..self.queue.len())
+            .filter(|&i| self.queue[i].request.arrival_s <= self.clock_s)
+            .collect();
+        eligible.sort_by(|&a, &b| {
+            let (pa, pb) = (&self.queue[a], &self.queue[b]);
+            let da = pa.request.deadline_s.unwrap_or(f64::INFINITY);
+            let db = pb.request.deadline_s.unwrap_or(f64::INFINITY);
+            da.total_cmp(&db).then(pa.seq.cmp(&pb.seq))
+        });
+        eligible.truncate(self.config.max_batch);
+
+        // Remove admitted entries back-to-front so indices stay valid,
+        // then restore admission order.
+        let mut removal = eligible.clone();
+        removal.sort_unstable_by(|a, b| b.cmp(a));
+        let mut gang: Vec<Pending> = removal
+            .into_iter()
+            .map(|i| self.queue.swap_remove(i))
+            .collect();
+        gang.sort_by(|a, b| {
+            let da = a.request.deadline_s.unwrap_or(f64::INFINITY);
+            let db = b.request.deadline_s.unwrap_or(f64::INFINITY);
+            da.total_cmp(&db).then(a.seq.cmp(&b.seq))
+        });
+
+        let seqs: Vec<Vec<Vector>> = gang.iter().map(|p| p.request.xs.clone()).collect();
+        let mut device = GpuDevice::new(self.config.gpu.clone());
+        let mut session = device.begin_trace();
+        let outputs = self
+            .runtime
+            .run_lstm_batch(self.plan, self.net, &seqs, &mut session);
+        let report = session.finish();
+
+        let start_s = self.clock_s;
+        self.clock_s += report.time_s;
+        let batch = gang.len();
+        for (pending, output) in gang.iter().zip(outputs) {
+            self.completed.push(Completion {
+                id: pending.request.id,
+                logits: output.logits,
+                finish_s: self.clock_s,
+                latency_s: self.clock_s - pending.request.arrival_s,
+                batch,
+            });
+        }
+        let round = RoundReport {
+            round: self.rounds.len(),
+            batch,
+            start_s,
+            time_s: report.time_s,
+            ids: gang.iter().map(|p| p.request.id).collect(),
+        };
+        self.rounds.push(round.clone());
+        Some(round)
+    }
+
+    /// Runs rounds until the queue is empty and returns every completion
+    /// accumulated so far (including from earlier [`step`](Self::step)
+    /// calls), in service order.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        while self.step().is_some() {}
+        std::mem::take(&mut self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lstm::plan::PlanRuntime;
+    use lstm::{LstmNetwork, ModelConfig};
+    use tensor::init::seeded_rng;
+
+    fn setup(seed: u64) -> (LstmNetwork, ExecutionPlan, Vec<Vec<Vector>>) {
+        let config = ModelConfig::new("serve-test", 10, 20, 2, 6, 3).unwrap();
+        let mut rng = seeded_rng(seed);
+        let net = LstmNetwork::random(&config, &mut rng);
+        let seqs: Vec<Vec<Vector>> = (0..6)
+            .map(|_| lstm::random_inputs(&config, &mut rng))
+            .collect();
+        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        (net, plan, seqs)
+    }
+
+    fn request(id: u64, xs: &[Vector], arrival_s: f64) -> Request {
+        Request {
+            id,
+            xs: xs.to_vec(),
+            arrival_s,
+            deadline_s: None,
+        }
+    }
+
+    #[test]
+    fn served_logits_are_bit_identical_to_solo_runs() {
+        let (net, plan, seqs) = setup(1);
+        let mut engine = ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap();
+        for (i, xs) in seqs.iter().enumerate() {
+            engine.submit(request(i as u64, xs, 0.0)).unwrap();
+        }
+        let completions = engine.drain();
+        assert_eq!(completions.len(), seqs.len());
+        for c in &completions {
+            let solo = PlanRuntime::new().run_lstm(
+                &plan,
+                &net,
+                &seqs[c.id as usize],
+                &mut lstm::plan::NullSink,
+            );
+            assert_eq!(c.logits, solo.logits, "request {} drifted", c.id);
+        }
+    }
+
+    #[test]
+    fn batching_beats_serial_service_time() {
+        let (net, plan, seqs) = setup(2);
+        let mut serial = ServeEngine::new(
+            &plan,
+            &net,
+            ServeConfig {
+                max_batch: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut batched = ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap();
+        for (i, xs) in seqs.iter().enumerate() {
+            serial.submit(request(i as u64, xs, 0.0)).unwrap();
+            batched.submit(request(i as u64, xs, 0.0)).unwrap();
+        }
+        serial.drain();
+        batched.drain();
+        assert!(
+            batched.clock_s() < serial.clock_s() / 2.0,
+            "batched {} vs serial {}",
+            batched.clock_s(),
+            serial.clock_s()
+        );
+    }
+
+    #[test]
+    fn admission_is_deadline_first_then_fifo() {
+        let (net, plan, seqs) = setup(3);
+        let mut engine = ServeEngine::new(
+            &plan,
+            &net,
+            ServeConfig {
+                max_batch: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        // Submission order 0..3; 2 has the tightest deadline, 3 the next.
+        let deadlines = [None, None, Some(0.5), Some(0.9)];
+        for (i, d) in deadlines.iter().enumerate() {
+            engine
+                .submit(Request {
+                    deadline_s: *d,
+                    ..request(i as u64, &seqs[i], 0.0)
+                })
+                .unwrap();
+        }
+        let first = engine.step().unwrap();
+        assert_eq!(first.ids, vec![2, 3], "deadline holders go first");
+        let second = engine.step().unwrap();
+        assert_eq!(second.ids, vec![0, 1], "then FIFO among the rest");
+    }
+
+    #[test]
+    fn late_arrivals_join_later_rounds() {
+        let (net, plan, seqs) = setup(4);
+        let mut engine = ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap();
+        engine.submit(request(0, &seqs[0], 0.0)).unwrap();
+        // Arrives long after round 0 finishes.
+        engine.submit(request(1, &seqs[1], 1e9)).unwrap();
+        let r0 = engine.step().unwrap();
+        assert_eq!(r0.ids, vec![0]);
+        let r1 = engine.step().unwrap();
+        assert_eq!(r1.ids, vec![1]);
+        assert!(r1.start_s >= 1e9, "clock jumps to the arrival");
+        let completions = engine.drain();
+        assert_eq!(completions.len(), 2);
+        assert!(completions[1].latency_s < completions[1].finish_s);
+    }
+
+    #[test]
+    fn queue_capacity_backpressure() {
+        let (net, plan, seqs) = setup(5);
+        let mut engine = ServeEngine::new(
+            &plan,
+            &net,
+            ServeConfig {
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        engine.submit(request(0, &seqs[0], 0.0)).unwrap();
+        engine.submit(request(1, &seqs[1], 0.0)).unwrap();
+        let err = engine.submit(request(2, &seqs[2], 0.0)).unwrap_err();
+        assert_eq!(err, Error::QueueFull { capacity: 2 });
+        // A round frees capacity.
+        engine.step().unwrap();
+        engine.submit(request(2, &seqs[2], 0.0)).unwrap();
+    }
+
+    #[test]
+    fn submit_validates_sequences() {
+        let (net, plan, seqs) = setup(6);
+        let mut engine = ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap();
+        assert_eq!(
+            engine.submit(request(0, &[], 0.0)).unwrap_err(),
+            Error::EmptyInput
+        );
+        let short = &seqs[0][..seqs[0].len() - 1];
+        assert_eq!(
+            engine.submit(request(1, short, 0.0)).unwrap_err(),
+            Error::SeqLenMismatch {
+                expected: plan.seq_len,
+                actual: plan.seq_len - 1
+            }
+        );
+    }
+
+    #[test]
+    fn gru_plan_is_rejected() {
+        let (net, _, seqs) = setup(7);
+        let mut rng = seeded_rng(8);
+        let gru = lstm::gru_exec::GruNetwork::random(10, 20, 2, 3, &mut rng);
+        let plan = ExecutionPlan::compile_gru_baseline(&gru, seqs[0].len());
+        assert_eq!(
+            ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap_err(),
+            Error::GruPlan
+        );
+    }
+
+    #[test]
+    fn rounds_report_batch_sizes_and_clock_advances() {
+        let (net, plan, seqs) = setup(9);
+        let mut engine = ServeEngine::new(
+            &plan,
+            &net,
+            ServeConfig {
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        for (i, xs) in seqs.iter().enumerate() {
+            engine.submit(request(i as u64, xs, 0.0)).unwrap();
+        }
+        engine.drain();
+        let batches: Vec<usize> = engine.rounds().iter().map(|r| r.batch).collect();
+        assert_eq!(batches, vec![4, 2]);
+        assert!(engine.rounds()[1].start_s > engine.rounds()[0].start_s);
+        assert!(engine.step().is_none(), "drained engine has no work");
+    }
+}

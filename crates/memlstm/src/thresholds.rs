@@ -239,14 +239,14 @@ impl Evaluator {
     /// Builds an optimizer configuration for a threshold set with both
     /// levels enabled.
     pub fn combined_config(&self, set: &ThresholdSet) -> OptimizerConfig {
-        OptimizerConfig::combined(
-            set.alpha_inter,
-            self.mts,
-            DrsConfig {
+        OptimizerConfig::builder()
+            .alpha_inter(set.alpha_inter)
+            .max_tissue_size(self.mts)
+            .drs(DrsConfig {
                 alpha_intra: set.alpha_intra,
                 mode: self.drs_mode,
-            },
-        )
+            })
+            .build()
     }
 
     /// Simulates the baseline (Algorithm 1) execution.
@@ -408,14 +408,14 @@ pub fn tune_combined_ao(
     let mut i = select_ao(inter_points).set.index;
     let mut j = select_ao(intra_points).set.index;
     loop {
-        let config = OptimizerConfig::combined(
-            sets[i].alpha_inter,
-            ev.mts(),
-            DrsConfig {
+        let config = OptimizerConfig::builder()
+            .alpha_inter(sets[i].alpha_inter)
+            .max_tissue_size(ev.mts())
+            .drs(DrsConfig {
                 alpha_intra: sets[j].alpha_intra,
                 mode: ev.drs_mode(),
-            },
-        );
+            })
+            .build();
         let (perf, accuracy, _) = ev.evaluate(config);
         let point = TradeoffPoint {
             set: ThresholdSet {

@@ -103,6 +103,41 @@ impl PackedMatrix {
             out[p * MR..p * MR + live].copy_from_slice(&sum[..live]);
         }
     }
+
+    /// Batched matrix-vector product: applies the matrix to every column
+    /// of `xs` with the *panel* loop outermost, so each packed panel is
+    /// loaded once and reused across all `B` columns — the GEMM-shaped
+    /// access pattern that amortizes weight traffic over a batch (the
+    /// serving-side twin of the paper's tissue batching).
+    ///
+    /// Each column runs the same per-panel micro-kernel as
+    /// [`gemv`](Self::gemv) in the same order, so column `i` of the result
+    /// is **bit-identical** to `self.gemv(&xs[i])`.
+    ///
+    /// # Panics
+    /// Panics if any `xs[i].len() != cols`.
+    pub fn gemv_batch(&self, xs: &[Vector]) -> Vec<Vector> {
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(
+                x.len(),
+                self.cols,
+                "PackedMatrix::gemv_batch: column {i} length {} != cols {}",
+                x.len(),
+                self.cols
+            );
+        }
+        let mut ys: Vec<Vector> = xs.iter().map(|_| Vector::zeros(self.rows)).collect();
+        let panels = self.rows.div_ceil(MR);
+        for p in 0..panels {
+            let panel = &self.data[p * MR * self.cols..(p + 1) * MR * self.cols];
+            let live = MR.min(self.rows - p * MR);
+            for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                let sum = panel_gemv(panel, self.cols, x.as_slice());
+                y.as_mut_slice()[p * MR..p * MR + live].copy_from_slice(&sum[..live]);
+            }
+        }
+        ys
+    }
 }
 
 /// One panel's matrix-vector micro-kernel: `MR` rows at once, four phase
@@ -304,5 +339,40 @@ mod tests {
     #[should_panic(expected = "x length")]
     fn packed_gemv_shape_mismatch_panics() {
         PackedMatrix::pack(&Matrix::zeros(4, 3)).gemv(&Vector::zeros(2));
+    }
+
+    #[test]
+    fn batched_gemv_columns_bit_identical_to_single() {
+        for (rows, cols) in [(1, 1), (7, 5), (9, 12), (33, 31), (96, 96)] {
+            let a = pseudo_matrix(rows, cols, 21);
+            let packed = PackedMatrix::pack(&a);
+            for batch in [1usize, 2, 3, 8] {
+                let xs: Vec<Vector> = (0..batch)
+                    .map(|i| pseudo_vector(cols, 100 + i as u32))
+                    .collect();
+                let ys = packed.gemv_batch(&xs);
+                assert_eq!(ys.len(), batch);
+                for (x, y) in xs.iter().zip(&ys) {
+                    let single = packed.gemv(x);
+                    for (b, s) in y.iter().zip(single.iter()) {
+                        assert_eq!(b.to_bits(), s.to_bits(), "{rows}x{cols} b{batch}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gemv_empty_batch_is_empty() {
+        assert!(PackedMatrix::pack(&Matrix::zeros(4, 3))
+            .gemv_batch(&[])
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "column 1 length")]
+    fn batched_gemv_shape_mismatch_panics() {
+        let packed = PackedMatrix::pack(&Matrix::zeros(4, 3));
+        packed.gemv_batch(&[Vector::zeros(3), Vector::zeros(2)]);
     }
 }

@@ -36,14 +36,17 @@ fn main() {
     let baseline = BaselineExecutor::new(net).run(xs);
     let base = device.run_trace(baseline.trace());
 
-    let config = OptimizerConfig::combined(
-        1.0, // relevance threshold (per-unit)
-        mts,
-        DrsConfig {
+    let config = OptimizerConfig::builder()
+        .alpha_inter(1.0)
+        .max_tissue_size(
+            // relevance threshold (per-unit)
+            mts,
+        )
+        .drs(DrsConfig {
             alpha_intra: 0.05,
             mode: DrsMode::Hardware,
-        },
-    );
+        })
+        .build();
     let optimized = OptimizedExecutor::new(net, &predictors, config).run(xs);
     device.reset();
     let opt = device.run_trace(optimized.trace());

@@ -34,12 +34,26 @@ fn main() {
         ("baseline", None),
         (
             "inter-cell",
-            Some(OptimizerConfig::inter_only(alpha_inter, mts)),
+            Some(
+                OptimizerConfig::builder()
+                    .alpha_inter(alpha_inter)
+                    .max_tissue_size(mts)
+                    .build(),
+            ),
         ),
-        ("intra-cell", Some(OptimizerConfig::intra_only(drs))),
+        (
+            "intra-cell",
+            Some(OptimizerConfig::builder().drs(drs).build()),
+        ),
         (
             "combined",
-            Some(OptimizerConfig::combined(alpha_inter, mts, drs)),
+            Some(
+                OptimizerConfig::builder()
+                    .alpha_inter(alpha_inter)
+                    .max_tissue_size(mts)
+                    .drs(drs)
+                    .build(),
+            ),
         ),
     ];
 

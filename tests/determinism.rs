@@ -69,6 +69,187 @@ fn sweep_is_bit_identical_across_worker_counts() {
     }
 }
 
+/// Asserts two hidden/logit vectors are equal to the last mantissa bit.
+fn assert_bits_eq(a: &tensor::Vector, b: &tensor::Vector, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: value drifted");
+    }
+}
+
+/// Lockstep batching reorders the timestep/sequence loops and rewrites
+/// the kernel stream, but every per-sequence number must survive
+/// untouched: each batched output is compared bit-for-bit against a solo
+/// `PlanRuntime` run, for baseline, DRS-only, and combined tissue+DRS
+/// plans at batch sizes 1, 2, and 8.
+#[test]
+fn batched_execution_is_bit_identical_per_sequence_across_plans() {
+    use lstm::batch::BatchRuntime;
+    use lstm::plan::{ExecutionPlan, NullSink, PlanRuntime};
+    use memlstm::drs::{DrsConfig, DrsMode};
+    use memlstm::exec::{OptimizedExecutor, OptimizerConfig};
+    use memlstm::prediction::NetworkPredictors;
+
+    let workload = Workload::generate(Benchmark::Mr, 8, 0x5EED);
+    let net = workload.network();
+    let seqs = workload.eval_set();
+    let offline = workload.dataset().offline().to_vec();
+    let predictors = NetworkPredictors::collect(net, &offline);
+    let drs = DrsConfig {
+        alpha_intra: 0.05,
+        mode: DrsMode::Hardware,
+    };
+    let intra = OptimizerConfig::builder().drs(drs).build();
+    let combined = OptimizerConfig::builder()
+        .alpha_inter(1.0)
+        .max_tissue_size(4)
+        .drs(drs)
+        .build();
+    let plans: Vec<(&str, ExecutionPlan)> = vec![
+        (
+            "baseline",
+            ExecutionPlan::compile_baseline(net, seqs[0].len()),
+        ),
+        (
+            "drs",
+            OptimizedExecutor::new(net, &predictors, intra).plan(&seqs[0]),
+        ),
+        (
+            "tissue+drs",
+            OptimizedExecutor::new(net, &predictors, combined).plan(&seqs[0]),
+        ),
+    ];
+    for (name, plan) in &plans {
+        for batch in [1usize, 2, 8] {
+            let gang: Vec<Vec<tensor::Vector>> =
+                (0..batch).map(|i| seqs[i % seqs.len()].clone()).collect();
+            let outs = BatchRuntime::new().run_lstm_batch(plan, net, &gang, &mut NullSink);
+            for (i, (xs, out)) in gang.iter().zip(&outs).enumerate() {
+                let solo = PlanRuntime::new().run_lstm(plan, net, xs, &mut NullSink);
+                assert_bits_eq(
+                    &out.logits,
+                    &solo.logits,
+                    &format!("{name} batch {batch} seq {i} logits"),
+                );
+                for (l, (bh, sh)) in out.layer_hs.iter().zip(&solo.layer_hs).enumerate() {
+                    for (t, (b, s)) in bh.iter().zip(sh.iter()).enumerate() {
+                        assert_bits_eq(b, s, &format!("{name} batch {batch} seq {i} h[{l}][{t}]"));
+                    }
+                }
+                assert_eq!(
+                    out.layer_skips, solo.layer_skips,
+                    "{name} batch {batch} seq {i} skip stats"
+                );
+            }
+        }
+    }
+}
+
+/// The serve engine gangs whatever has arrived, so consecutive rounds see
+/// different batch sizes as requests join and leave. No composition may
+/// perturb a request's numbers: every completion must match a solo run.
+#[test]
+fn serving_with_join_leave_churn_is_bit_identical() {
+    use lstm::plan::{ExecutionPlan, NullSink, PlanRuntime};
+    use memlstm::serve::{Request, ServeConfig, ServeEngine};
+
+    let workload = Workload::generate(Benchmark::Mr, 8, 0xC0DE);
+    let net = workload.network();
+    let seqs = workload.eval_set();
+    let plan = ExecutionPlan::compile_baseline(net, seqs[0].len());
+    let mut engine = ServeEngine::new(
+        &plan,
+        net,
+        ServeConfig {
+            max_batch: 3,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    // Arrival spread forces gangs of 3, 3, 2, then stragglers alone:
+    // requests join mid-service and leave at different rounds.
+    let arrivals = [0.0, 0.0, 0.0, 0.0, 0.0, 1e-4, 2e-4, 10.0];
+    for (i, arrival_s) in arrivals.iter().enumerate() {
+        engine
+            .submit(Request {
+                id: i as u64,
+                xs: seqs[i % seqs.len()].clone(),
+                arrival_s: *arrival_s,
+                deadline_s: if i % 3 == 0 {
+                    Some(*arrival_s + 0.5)
+                } else {
+                    None
+                },
+            })
+            .unwrap();
+    }
+    let completions = engine.drain();
+    assert_eq!(completions.len(), arrivals.len());
+    let batches: Vec<usize> = engine.rounds().iter().map(|r| r.batch).collect();
+    assert!(
+        batches.iter().any(|&b| b > 1) && batches.contains(&1),
+        "churn should produce mixed gang sizes, got {batches:?}"
+    );
+    for c in &completions {
+        let solo = PlanRuntime::new().run_lstm(
+            &plan,
+            net,
+            &seqs[c.id as usize % seqs.len()],
+            &mut NullSink,
+        );
+        assert_bits_eq(
+            &c.logits,
+            &solo.logits,
+            &format!("request {} (batch {})", c.id, c.batch),
+        );
+    }
+}
+
+/// Admission is deadline-aware and the queue applies backpressure:
+/// tighter deadlines preempt FIFO order, and submits beyond capacity
+/// return `QueueFull` instead of growing without bound.
+#[test]
+fn serve_admission_orders_by_deadline_and_applies_backpressure() {
+    use lstm::plan::ExecutionPlan;
+    use memlstm::serve::{Request, ServeConfig, ServeEngine};
+    use memlstm::Error;
+
+    let workload = Workload::generate(Benchmark::Mr, 4, 0xACED);
+    let net = workload.network();
+    let seqs = workload.eval_set();
+    let plan = ExecutionPlan::compile_baseline(net, seqs[0].len());
+    let mut engine = ServeEngine::new(
+        &plan,
+        net,
+        ServeConfig {
+            max_batch: 2,
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let request = |id: u64, deadline_s: Option<f64>| Request {
+        id,
+        xs: seqs[id as usize % seqs.len()].clone(),
+        arrival_s: 0.0,
+        deadline_s,
+    };
+    for (id, deadline) in [(0, None), (1, Some(0.9)), (2, Some(0.2)), (3, None)] {
+        engine.submit(request(id, deadline)).unwrap();
+    }
+    assert_eq!(
+        engine.submit(request(4, None)).unwrap_err(),
+        Error::QueueFull { capacity: 4 }
+    );
+    let first = engine.step().unwrap();
+    assert_eq!(first.ids, vec![2, 1], "earliest deadline first");
+    engine.submit(request(4, None)).unwrap();
+    let second = engine.step().unwrap();
+    assert_eq!(second.ids, vec![0, 3], "then FIFO among deadline-free");
+    let third = engine.step().unwrap();
+    assert_eq!(third.ids, vec![4]);
+}
+
 /// The offline upper-threshold search fans relevance probes out across
 /// workers; the resulting α upper limit seeds every sweep, so it must be
 /// worker-count-independent too.

@@ -27,9 +27,18 @@ fn zero_threshold_configs_are_bit_exact() {
     let (net, xs, predictors) = setup();
     let exact = net.forward(&xs);
     for config in [
-        OptimizerConfig::inter_only(0.0, 5),
-        OptimizerConfig::intra_only(DrsConfig::disabled()),
-        OptimizerConfig::combined(0.0, 5, DrsConfig::disabled()),
+        OptimizerConfig::builder()
+            .alpha_inter(0.0)
+            .max_tissue_size(5)
+            .build(),
+        OptimizerConfig::builder()
+            .drs(DrsConfig::disabled())
+            .build(),
+        OptimizerConfig::builder()
+            .alpha_inter(0.0)
+            .max_tissue_size(5)
+            .drs(DrsConfig::disabled())
+            .build(),
     ] {
         let run = OptimizedExecutor::new(&net, &predictors, config).run(&xs);
         assert_eq!(run.logits, exact.logits, "config {config:?} diverged");
@@ -51,19 +60,24 @@ fn baseline_executor_is_bit_exact() {
 fn every_trace_reads_weights_from_declared_regions() {
     let (net, xs, predictors) = setup();
     let configs = vec![
-        OptimizerConfig::inter_only(2.0, 4),
-        OptimizerConfig::intra_only(DrsConfig {
-            alpha_intra: 0.05,
-            mode: DrsMode::Hardware,
-        }),
-        OptimizerConfig::combined(
-            2.0,
-            4,
-            DrsConfig {
+        OptimizerConfig::builder()
+            .alpha_inter(2.0)
+            .max_tissue_size(4)
+            .build(),
+        OptimizerConfig::builder()
+            .drs(DrsConfig {
+                alpha_intra: 0.05,
+                mode: DrsMode::Hardware,
+            })
+            .build(),
+        OptimizerConfig::builder()
+            .alpha_inter(2.0)
+            .max_tissue_size(4)
+            .drs(DrsConfig {
                 alpha_intra: 0.05,
                 mode: DrsMode::Software,
-            },
-        ),
+            })
+            .build(),
     ];
     for config in configs {
         let run = OptimizedExecutor::new(&net, &predictors, config).run(&xs);
@@ -93,7 +107,10 @@ fn every_trace_reads_weights_from_declared_regions() {
 fn optimized_outputs_cover_every_timestep_once() {
     let (net, xs, predictors) = setup();
     for alpha in [0.5, 2.0, 8.0, 33.0] {
-        let config = OptimizerConfig::inter_only(alpha, 3);
+        let config = OptimizerConfig::builder()
+            .alpha_inter(alpha)
+            .max_tissue_size(3)
+            .build();
         let run = OptimizedExecutor::new(&net, &predictors, config).run(&xs);
         for layer in &run.layers {
             assert_eq!(layer.hs.len(), xs.len());
@@ -108,14 +125,14 @@ fn optimized_outputs_cover_every_timestep_once() {
 #[test]
 fn determinism_across_runs() {
     let (net, xs, predictors) = setup();
-    let config = OptimizerConfig::combined(
-        2.0,
-        4,
-        DrsConfig {
+    let config = OptimizerConfig::builder()
+        .alpha_inter(2.0)
+        .max_tissue_size(4)
+        .drs(DrsConfig {
             alpha_intra: 0.08,
             mode: DrsMode::Hardware,
-        },
-    );
+        })
+        .build();
     let exec = OptimizedExecutor::new(&net, &predictors, config);
     let a = exec.run(&xs);
     let b = exec.run(&xs);
@@ -169,9 +186,9 @@ mod plan_properties {
             let mode = if mode_hw { DrsMode::Hardware } else { DrsMode::Software };
             let drs = DrsConfig { alpha_intra, mode };
             for config in [
-                OptimizerConfig::inter_only(alpha_inter, mts),
-                OptimizerConfig::intra_only(drs),
-                OptimizerConfig::combined(alpha_inter, mts, drs),
+                OptimizerConfig::builder().alpha_inter(alpha_inter).max_tissue_size(mts).build(),
+                OptimizerConfig::builder().drs(drs).build(),
+                OptimizerConfig::builder().alpha_inter(alpha_inter).max_tissue_size(mts).drs(drs).build(),
             ] {
                 let exec = OptimizedExecutor::new(&net, &predictors, config);
                 let (run, stats) = exec.run_detailed(&xs);
@@ -217,7 +234,7 @@ mod plan_properties {
         ) {
             let (net, xs, predictors) = small_setup(seed);
             let mode = if mode_hw { DrsMode::Hardware } else { DrsMode::Software };
-            let config = OptimizerConfig::intra_only(DrsConfig { alpha_intra, mode });
+            let config = OptimizerConfig::builder().drs(DrsConfig { alpha_intra, mode }).build();
             let exec = OptimizedExecutor::new(&net, &predictors, config);
             let plan = exec.plan(&xs);
             let base_plan = ExecutionPlan::compile_baseline(&net, xs.len());

@@ -69,14 +69,14 @@ fn fig14_combined_beats_baseline_with_small_loss() {
     let workload = mr_workload();
     let net = workload.network();
     let predictors = NetworkPredictors::collect(net, workload.dataset().offline());
-    let config = OptimizerConfig::combined(
-        1.0,
-        5,
-        DrsConfig {
+    let config = OptimizerConfig::builder()
+        .alpha_inter(1.0)
+        .max_tissue_size(5)
+        .drs(DrsConfig {
             alpha_intra: 0.05,
             mode: DrsMode::Hardware,
-        },
-    );
+        })
+        .build();
     let exec = OptimizedExecutor::new(net, &predictors, config);
     let mut device = GpuDevice::new(GpuConfig::tegra_x1());
     let mut speedups = Vec::new();
@@ -112,10 +112,12 @@ fn fig16_scheme_ordering_holds() {
     let base = device.run_trace(BaselineExecutor::new(net).run(xs).trace());
 
     let mut time_of = |mode: DrsMode| {
-        let config = OptimizerConfig::intra_only(DrsConfig {
-            alpha_intra: 0.06,
-            mode,
-        });
+        let config = OptimizerConfig::builder()
+            .drs(DrsConfig {
+                alpha_intra: 0.06,
+                mode,
+            })
+            .build();
         let run = OptimizedExecutor::new(net, &predictors, config).run(xs);
         device.reset();
         device.run_trace(run.trace()).time_s
@@ -147,14 +149,14 @@ fn overheads_stay_in_the_few_percent_band() {
     let workload = mr_workload();
     let net = workload.network();
     let predictors = NetworkPredictors::collect(net, workload.dataset().offline());
-    let config = OptimizerConfig::combined(
-        1.0,
-        5,
-        DrsConfig {
+    let config = OptimizerConfig::builder()
+        .alpha_inter(1.0)
+        .max_tissue_size(5)
+        .drs(DrsConfig {
             alpha_intra: 0.05,
             mode: DrsMode::Hardware,
-        },
-    );
+        })
+        .build();
     let run = OptimizedExecutor::new(net, &predictors, config).run(&workload.eval_set()[0]);
     let gpu = GpuConfig::tegra_x1();
     let inter = memlstm::overhead::inter_overhead(&run, &gpu);
