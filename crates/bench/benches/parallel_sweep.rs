@@ -12,7 +12,7 @@
 //! scheduling overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gpu_sim::GpuConfig;
+use gpu_sim::DeviceModel;
 use memlstm::thresholds::{Evaluator, TradeoffPoint};
 use pool::Pool;
 use std::hint::black_box;
@@ -31,7 +31,7 @@ const PERF_SEQS: usize = 2;
 
 fn build_evaluator() -> Evaluator {
     let workload = Workload::generate(Benchmark::Mr, ACCURACY_SEQS, 0xBEEF);
-    Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(PERF_SEQS, ACCURACY_SEQS)
+    Evaluator::new(workload, DeviceModel::tegra_x1()).with_budget(PERF_SEQS, ACCURACY_SEQS)
 }
 
 /// Two sweeps are interchangeable only if every float is bit-identical.

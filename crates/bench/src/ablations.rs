@@ -4,7 +4,7 @@
 
 use crate::session::{Level, Session};
 use crate::table::TextTable;
-use gpu_sim::{GpuConfig, GpuDevice};
+use gpu_sim::{DeviceModel, GpuDevice};
 use memlstm::exec::OptimizerConfig;
 use memlstm::thresholds::select_ao;
 use workloads::teacher_match_nested;
@@ -115,8 +115,8 @@ pub fn gpu_scaling(_session: &mut Session) -> String {
     use memlstm::mts::determine_mts;
     let mut table = TextTable::new(["GPU", "hidden", "MTS", "peak speedup vs t=1"]);
     for (name, cfg) in [
-        ("Tegra X1", GpuConfig::tegra_x1()),
-        ("2x Tegra X1", GpuConfig::tegra_x1_2x()),
+        ("Tegra X1", DeviceModel::tegra_x1()),
+        ("2x Tegra X1", DeviceModel::tegra_x1_2x()),
     ] {
         for hidden in [256usize, 512] {
             let result = determine_mts(&cfg, hidden, 12);
@@ -135,7 +135,7 @@ pub fn gpu_scaling(_session: &mut Session) -> String {
         }
     }
     // Touch the device type so the extension compiles stand-alone.
-    let _ = GpuDevice::new(GpuConfig::tegra_x1());
+    let _ = GpuDevice::for_model(&DeviceModel::tegra_x1());
     format!("GPU scaling (extension): MTS follows the bandwidth ratio\n{table}")
 }
 

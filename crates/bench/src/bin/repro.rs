@@ -14,6 +14,10 @@
 //! combined Chrome trace to `repro_profile.trace.json`. Profiling is
 //! observation-only: stdout stays byte-identical with or without the
 //! flag (flame summaries go to stderr).
+//!
+//! The simulated device comes from `MEMLSTM_DEVICE` (unset: the paper's
+//! Tegra X1, under which the pinned `repro_output*.txt` snapshots hold;
+//! the device banner goes to stderr so stdout stays byte-stable).
 
 use bench_harness::{
     ablations, figures_memory, figures_perf, figures_tradeoff, figures_user, profiling, session,
@@ -33,6 +37,7 @@ fn main() {
         .cloned()
         .unwrap_or_default();
     let mut session = Session::new(fast);
+    eprintln!("[repro] device: {}", session.device().name);
 
     let experiments: Vec<Experiment> = vec![
         ("table1", |_s| tables::table1()),
@@ -105,7 +110,10 @@ fn write_profile(session: &mut Session) {
             run.profiler.add_to_chrome(
                 &mut trace,
                 pid,
-                &format!("{benchmark} {scheme} (simulated GPU time)"),
+                &format!(
+                    "{benchmark} {scheme} on {} (simulated GPU time)",
+                    run.device
+                ),
             );
             profiling::add_pool_to_chrome(&mut trace, pid + 1, &run.pool);
             pid += 2;

@@ -11,7 +11,9 @@
 //!
 //! Results go to `BENCH_serve.json` at the repo root. `--fast` restricts
 //! to the two cheapest benchmarks with a smaller trace for CI smoke runs.
+//! The simulated device comes from `MEMLSTM_DEVICE` (unset: Tegra X1).
 
+use gpu_sim::DeviceModel;
 use lstm::plan::ExecutionPlan;
 use memlstm::serve::{Request, ServeConfig, ServeEngine};
 use rand::Rng;
@@ -50,11 +52,9 @@ fn replay(
     arrivals: &[(u64, f64)],
     max_batch: usize,
 ) -> RunStats {
-    let config = ServeConfig {
-        max_batch,
-        queue_capacity: arrivals.len(),
-        ..ServeConfig::default()
-    };
+    let config = ServeConfig::new(plan.device.clone())
+        .with_max_batch(max_batch)
+        .with_queue_capacity(arrivals.len());
     let mut engine =
         ServeEngine::new(plan, workload.network(), config).expect("plan matches network");
     let seqs = workload.eval_set();
@@ -86,11 +86,11 @@ fn replay(
 }
 
 /// One benchmark's full sweep: trace generation plus a replay per cap.
-fn serve_benchmark(benchmark: Benchmark, num_requests: usize) -> String {
+fn serve_benchmark(benchmark: Benchmark, num_requests: usize, device: &DeviceModel) -> String {
     eprintln!("[serve] {benchmark}: generating workload...");
     let workload = Workload::generate(benchmark, 8, 0xBEEF);
     let seq_len = workload.eval_set()[0].len();
-    let plan = ExecutionPlan::compile_baseline(workload.network(), seq_len);
+    let plan = ExecutionPlan::compile_baseline(workload.network(), seq_len, device);
 
     // Calibrate the offered load to one serial round: mean interarrival of
     // round/8 keeps even the widest gang busy, so every cap is measured
@@ -147,6 +147,8 @@ fn serve_benchmark(benchmark: Benchmark, num_requests: usize) -> String {
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
+    let device = DeviceModel::from_env();
+    eprintln!("[serve] device: {}", device.name);
     let (benchmarks, num_requests) = if fast {
         (vec![Benchmark::Mr, Benchmark::Babi], 16)
     } else {
@@ -154,7 +156,7 @@ fn main() {
     };
     let entries = benchmarks
         .iter()
-        .map(|&b| serve_benchmark(b, num_requests))
+        .map(|&b| serve_benchmark(b, num_requests, &device))
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(

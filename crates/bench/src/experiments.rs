@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: per-benchmark evaluation budgets and
 //! evaluator construction.
 
-use gpu_sim::GpuConfig;
+use gpu_sim::DeviceModel;
 use memlstm::thresholds::Evaluator;
 use workloads::{Benchmark, Workload};
 
@@ -57,8 +57,9 @@ pub fn fast_budget() -> EvalBudget {
     }
 }
 
-/// Builds the evaluator (offline phase included) for one benchmark on the
-/// Tegra X1, with its default budget.
+/// Builds the evaluator (offline phase included) for one benchmark, with
+/// its default budget, on the `MEMLSTM_DEVICE`-selected device (unset:
+/// the paper's Tegra X1).
 pub fn evaluator_for(benchmark: Benchmark, fast: bool) -> Evaluator {
     let budget = if fast {
         fast_budget()
@@ -66,7 +67,7 @@ pub fn evaluator_for(benchmark: Benchmark, fast: bool) -> Evaluator {
         budget_for(benchmark)
     };
     let workload = Workload::generate(benchmark, budget.accuracy_seqs, 0xBEEF);
-    Evaluator::new(workload, GpuConfig::tegra_x1())
+    Evaluator::new(workload, DeviceModel::from_env())
         .with_budget(budget.perf_seqs, budget.accuracy_seqs)
 }
 

@@ -4,7 +4,7 @@
 
 use crate::session::Session;
 use crate::table::TextTable;
-use gpu_sim::{GpuConfig, GpuDevice, KernelKind, StallBreakdown};
+use gpu_sim::{GpuDevice, KernelKind, StallBreakdown};
 use lstm::BaselineExecutor;
 use memlstm::mts::determine_mts;
 
@@ -14,11 +14,14 @@ fn baseline_sgemv_profile(
     session: &mut Session,
     benchmark: workloads::Benchmark,
 ) -> (StallBreakdown, gpu_sim::SimReport, GpuDevice) {
+    let device_model = session.device().clone();
     let ev = session.prepare(benchmark);
     let workload = ev.workload();
     let net = workload.network();
-    let run = BaselineExecutor::new(net).run(&workload.eval_set()[0]);
-    let mut device = GpuDevice::new(GpuConfig::tegra_x1());
+    let run = BaselineExecutor::new(net)
+        .on_device(&device_model)
+        .run(&workload.eval_set()[0]);
+    let mut device = GpuDevice::for_model(&device_model);
     run.declare_regions(&mut device, net);
     let mut sgemv_stall = StallBreakdown::default();
     let mut report = gpu_sim::SimReport::empty(
@@ -98,7 +101,7 @@ pub fn fig9(session: &mut Session) -> String {
     );
     for benchmark in session.benchmarks() {
         let hidden = benchmark.spec().hidden_size;
-        let result = determine_mts(&GpuConfig::tegra_x1(), hidden, 10);
+        let result = determine_mts(session.device(), hidden, 10);
         let mut table = TextTable::new(["tissue size", "norm. perf", "smem util%", "reconfig"]);
         for (sample, (_, perf)) in result.samples.iter().zip(result.normalized_performance()) {
             table.row([

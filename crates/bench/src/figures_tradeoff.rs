@@ -3,7 +3,7 @@
 
 use crate::session::{Level, Session};
 use crate::table::TextTable;
-use gpu_sim::GpuConfig;
+
 use memlstm::thresholds::{select_ao, select_bpa, Evaluator};
 use workloads::{Benchmark, Workload};
 
@@ -58,7 +58,7 @@ pub fn fig17(session: &mut Session) -> String {
     let run_config = |label: String, config: &lstm::ModelConfig| -> String {
         let eval_n = if session.is_fast() { 2 } else { 6 };
         let workload = Workload::generate_scaled(Benchmark::Babi, config, eval_n, 0xF16);
-        let ev = Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(1, eval_n);
+        let ev = Evaluator::new(workload, session.device().clone()).with_budget(1, eval_n);
         let points = ev.sweep(sets);
         let mut table = TextTable::new(["set", "speedup", "accuracy%"]);
         for p in &points {

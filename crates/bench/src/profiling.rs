@@ -96,6 +96,9 @@ pub struct ProfileRun {
     pub set: Option<ThresholdSet>,
     /// Index of the threshold set within the sweep.
     pub set_index: usize,
+    /// Name of the device the run was priced on (stamped into every
+    /// chrome-trace span as a `device` arg).
+    pub device: String,
     /// The priced report — bit-identical to an unprofiled run.
     pub report: SimReport,
     /// Per-kernel spans on the simulated device clock.
@@ -142,6 +145,7 @@ pub fn profile_run(
         scheme,
         set,
         set_index,
+        device: session.device().name.clone(),
         report,
         profiler,
         pool,
@@ -180,7 +184,10 @@ impl ProfileRun {
         self.profiler.add_to_chrome(
             &mut trace,
             0,
-            &format!("{} {} (simulated GPU time)", self.benchmark, self.scheme),
+            &format!(
+                "{} {} on {} (simulated GPU time)",
+                self.benchmark, self.scheme, self.device
+            ),
         );
         add_pool_to_chrome(&mut trace, 1, &self.pool);
         trace
@@ -200,8 +207,8 @@ impl ProfileRun {
         };
         let _ = writeln!(
             out,
-            "=== profile: {} / {} / {set_desc} ===",
-            self.benchmark, self.scheme
+            "=== profile: {} / {} / {set_desc} on {} ===",
+            self.benchmark, self.scheme, self.device
         );
         let _ = writeln!(
             out,

@@ -3,7 +3,7 @@
 //! for them once.
 
 use crate::experiments::{budget_for, fast_budget};
-use gpu_sim::GpuConfig;
+use gpu_sim::DeviceModel;
 use memlstm::drs::{DrsConfig, DrsMode};
 use memlstm::exec::OptimizerConfig;
 use memlstm::thresholds::{threshold_sets, Evaluator, ThresholdSet, TradeoffPoint};
@@ -30,21 +30,33 @@ pub const ALL_LEVELS: [Level; 3] = [Level::Inter, Level::Intra, Level::Combined]
 
 /// Cached state for one `repro` invocation.
 ///
-/// Caches are keyed by `(benchmark, fast)` so toggling the budget with
-/// [`Session::set_fast`] mid-session cannot silently serve results
-/// computed under the other budget — each budget's offline phase and
-/// sweeps are cached independently.
+/// Caches are keyed by `(benchmark, fast, device)` so toggling the budget
+/// with [`Session::set_fast`] or the device with
+/// [`Session::set_device`] mid-session cannot silently serve results
+/// computed under another configuration — each budget's and each device's
+/// offline phase and sweeps are cached independently.
 pub struct Session {
     fast: bool,
-    evaluators: BTreeMap<(Benchmark, bool), Evaluator>,
-    sweeps: BTreeMap<(Benchmark, bool, Level), Vec<TradeoffPoint>>,
+    device: DeviceModel,
+    evaluators: BTreeMap<(Benchmark, bool, String), Evaluator>,
+    sweeps: BTreeMap<(Benchmark, bool, String, Level), Vec<TradeoffPoint>>,
 }
 
 impl Session {
     /// Creates a session; `fast` shrinks evaluation budgets for smoke runs.
+    ///
+    /// The device comes from the `MEMLSTM_DEVICE` environment variable
+    /// ([`DeviceModel::from_env`]); unset means the default preset, the
+    /// paper's Tegra X1 — which keeps `repro` output byte-stable.
     pub fn new(fast: bool) -> Self {
+        Self::on_device(fast, DeviceModel::from_env())
+    }
+
+    /// Creates a session pinned to `device`, ignoring the environment.
+    pub fn on_device(fast: bool, device: DeviceModel) -> Self {
         Self {
             fast,
+            device,
             evaluators: BTreeMap::new(),
             sweeps: BTreeMap::new(),
         }
@@ -61,7 +73,23 @@ impl Session {
         self.fast = fast;
     }
 
-    fn build_evaluator(benchmark: Benchmark, fast: bool) -> Evaluator {
+    /// The device every evaluator in this session prices on.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Switches the target device; results cached for other devices stay
+    /// valid under their own key (a cross-device sweep can reuse one
+    /// session and flip presets).
+    pub fn set_device(&mut self, device: DeviceModel) {
+        self.device = device;
+    }
+
+    fn key(&self, benchmark: Benchmark) -> (Benchmark, bool, String) {
+        (benchmark, self.fast, self.device.name.clone())
+    }
+
+    fn build_evaluator(benchmark: Benchmark, fast: bool, device: &DeviceModel) -> Evaluator {
         eprintln!("[session] preparing {benchmark} (offline phase)...");
         let budget = if fast {
             fast_budget()
@@ -69,8 +97,7 @@ impl Session {
             budget_for(benchmark)
         };
         let workload = Workload::generate(benchmark, budget.accuracy_seqs, 0xBEEF);
-        Evaluator::new(workload, GpuConfig::tegra_x1())
-            .with_budget(budget.perf_seqs, budget.accuracy_seqs)
+        Evaluator::new(workload, device.clone()).with_budget(budget.perf_seqs, budget.accuracy_seqs)
     }
 
     /// Ensures a benchmark's evaluator exists (the offline phase runs on
@@ -80,9 +107,10 @@ impl Session {
     /// through `&self`.
     pub fn prepare(&mut self, benchmark: Benchmark) -> &Evaluator {
         let fast = self.fast;
+        let device = self.device.clone();
         self.evaluators
-            .entry((benchmark, fast))
-            .or_insert_with(|| Self::build_evaluator(benchmark, fast))
+            .entry(self.key(benchmark))
+            .or_insert_with(|| Self::build_evaluator(benchmark, fast, &device))
     }
 
     /// A benchmark's cached evaluator, by shared reference.
@@ -98,7 +126,7 @@ impl Session {
 
     /// A benchmark's cached evaluator, or `None` if it was never built.
     pub fn try_evaluator(&self, benchmark: Benchmark) -> Option<&Evaluator> {
-        self.evaluators.get(&(benchmark, self.fast))
+        self.evaluators.get(&self.key(benchmark))
     }
 
     /// The threshold sets for a benchmark (from its offline upper limits).
@@ -120,12 +148,12 @@ impl Session {
 
     /// The 11-point sweep of a benchmark at a level, cached.
     pub fn sweep(&mut self, benchmark: Benchmark, level: Level) -> Vec<TradeoffPoint> {
-        let fast = self.fast;
-        if let Some(points) = self.sweeps.get(&(benchmark, fast, level)) {
+        let (b, fast, dev) = self.key(benchmark);
+        if let Some(points) = self.sweeps.get(&(b, fast, dev.clone(), level)) {
             return points.clone();
         }
         let points = compute_sweep(self.prepare(benchmark), level);
-        self.sweeps.insert((benchmark, fast, level), points.clone());
+        self.sweeps.insert((b, fast, dev, level), points.clone());
         points
     }
 
@@ -137,30 +165,38 @@ impl Session {
     pub fn prewarm(&mut self) {
         let pool = Pool::new();
         let fast = self.fast;
+        let device = self.device.clone();
         let missing: Vec<Benchmark> = self
             .benchmarks()
             .into_iter()
-            .filter(|b| !self.evaluators.contains_key(&(*b, fast)))
+            .filter(|b| !self.evaluators.contains_key(&self.key(*b)))
             .collect();
         let built = pool.par_map(missing, |benchmark| {
-            (benchmark, Self::build_evaluator(benchmark, fast))
+            (benchmark, Self::build_evaluator(benchmark, fast, &device))
         });
         for (benchmark, ev) in built {
-            self.evaluators.insert((benchmark, fast), ev);
+            let key = self.key(benchmark);
+            self.evaluators.insert(key, ev);
         }
         let jobs: Vec<(Benchmark, Level)> = self
             .benchmarks()
             .into_iter()
             .flat_map(|b| ALL_LEVELS.map(|level| (b, level)))
-            .filter(|(b, level)| !self.sweeps.contains_key(&(*b, fast, *level)))
+            .filter(|(b, level)| {
+                !self
+                    .sweeps
+                    .contains_key(&(*b, fast, self.device.name.clone(), *level))
+            })
             .collect();
         let evaluators = &self.evaluators;
+        let dev_name = self.device.name.clone();
         let swept = pool.par_map(jobs, |(benchmark, level)| {
-            let ev = &evaluators[&(benchmark, fast)];
+            let ev = &evaluators[&(benchmark, fast, dev_name.clone())];
             (benchmark, level, compute_sweep(ev, level))
         });
         for (benchmark, level, points) in swept {
-            self.sweeps.insert((benchmark, fast, level), points);
+            self.sweeps
+                .insert((benchmark, fast, self.device.name.clone(), level), points);
         }
     }
 
@@ -176,7 +212,7 @@ impl Session {
 }
 
 /// Maps a threshold set to the optimizer configuration of a level.
-fn config_for_level(level: Level, set: &ThresholdSet, mts: usize) -> OptimizerConfig {
+pub fn config_for_level(level: Level, set: &ThresholdSet, mts: usize) -> OptimizerConfig {
     match level {
         Level::Inter => OptimizerConfig::builder()
             .alpha_inter(set.alpha_inter)
@@ -207,7 +243,15 @@ fn compute_sweep(ev: &Evaluator, level: Level) -> Vec<TradeoffPoint> {
         "[session] sweeping {} ({level:?})...",
         ev.workload().benchmark()
     );
-    let sets = threshold_sets(ev.upper_alpha_inter(), ev.upper_alpha_intra(), NUM_SETS);
+    sweep_points(ev, level, NUM_SETS)
+}
+
+/// Computes a level's sweep at an arbitrary set count, fanning the sets
+/// out on the evaluator's pool (points return in set order,
+/// bit-identical for any worker count). The cross-device sweep uses this
+/// with a reduced count to bound its run time.
+pub fn sweep_points(ev: &Evaluator, level: Level, count: usize) -> Vec<TradeoffPoint> {
+    let sets = threshold_sets(ev.upper_alpha_inter(), ev.upper_alpha_intra(), count);
     let base = ev.baseline_perf();
     let mts = ev.mts();
     ev.pool().par_map(sets, |set| {

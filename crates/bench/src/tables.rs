@@ -61,7 +61,7 @@ pub fn overheads(session: &mut Session) -> String {
         "CRM perf%",
         "CRM power%",
     ]);
-    let gpu = GpuConfig::tegra_x1();
+    let device = session.device().clone();
     let mut sums = [0.0f64; 6];
     let benchmarks = session.benchmarks();
     for benchmark in &benchmarks {
@@ -73,10 +73,11 @@ pub fn overheads(session: &mut Session) -> String {
         let ev = session.prepare(*benchmark);
         let workload = ev.workload();
         let run = OptimizedExecutor::new(workload.network(), ev.predictors(), config)
+            .on_device(device.clone())
             .run(&workload.eval_set()[0]);
-        let inter = inter_overhead(&run, &gpu);
-        let intra = intra_overhead(&run, &gpu);
-        let crm = crm_overhead(&run, &gpu);
+        let inter = inter_overhead(&run, &device);
+        let intra = intra_overhead(&run, &device);
+        let crm = crm_overhead(&run, &device);
         let vals = [
             inter.perf_frac,
             inter.energy_frac,

@@ -89,6 +89,58 @@ impl GpuConfig {
         cfg
     }
 
+    /// Pascal-class successor: Jetson TX2. Same 2-SM layout at a higher
+    /// clock (1.3 GHz) with 128-bit LPDDR4 at 58.4 GB/s and a 512 KB L2.
+    /// The DRAM uplift outpaces the on-chip gain, so the on-chip/off-chip
+    /// bandwidth ratio falls to ~3.1 — the tissue crossover moves left.
+    pub fn tegra_x2() -> Self {
+        Self {
+            name: "NVIDIA Tegra X2 (Jetson TX2)".to_owned(),
+            num_sms: 2,
+            cores_per_sm: 128,
+            clock_ghz: 1.3,
+            flops_per_core_cycle: 2.0,
+            dram_bandwidth_gbps: 58.4,
+            dram_efficiency: 0.75,
+            l2_bytes: 512 * 1024,
+            l2_line_bytes: 128,
+            smem_bytes_per_cycle_sm: 52.0,
+            kernel_launch_us: 2.2,
+            barrier_cycles_per_cta: 850.0,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            reconfig_penalty_slope: 0.55,
+            energy: EnergyModel::tegra_x2(),
+        }
+    }
+
+    /// Low-end Adreno 5xx-class mobile GPU: a single SM-equivalent slice
+    /// of 128 ALUs at 650 MHz, single-channel-class LPDDR4 (~14.9 GB/s at
+    /// 70% streaming efficiency), a 128 KB L2 with 64 B lines, wide
+    /// (64-thread) waves, and a heavier driver stack (8 µs launches).
+    /// The strong local memory relative to the weak DRAM pushes the
+    /// on-chip/off-chip ratio to ~8 — tissues keep paying off longer.
+    pub fn adreno_5xx() -> Self {
+        Self {
+            name: "Qualcomm Adreno 5xx-class".to_owned(),
+            num_sms: 1,
+            cores_per_sm: 128,
+            clock_ghz: 0.65,
+            flops_per_core_cycle: 2.0,
+            dram_bandwidth_gbps: 14.9,
+            dram_efficiency: 0.7,
+            l2_bytes: 128 * 1024,
+            l2_line_bytes: 64,
+            smem_bytes_per_cycle_sm: 128.0,
+            kernel_launch_us: 8.0,
+            barrier_cycles_per_cta: 1200.0,
+            warp_size: 64,
+            max_threads_per_sm: 1024,
+            reconfig_penalty_slope: 0.8,
+            energy: EnergyModel::adreno_5xx(),
+        }
+    }
+
     /// Total cores.
     pub fn total_cores(&self) -> u32 {
         self.num_sms * self.cores_per_sm
@@ -125,11 +177,11 @@ impl GpuConfig {
     }
 }
 
-impl Default for GpuConfig {
-    fn default() -> Self {
-        Self::tegra_x1()
-    }
-}
+// NOTE: `GpuConfig` deliberately does NOT implement `Default`. The old
+// `Default` impl silently aliased `tegra_x1()`, which let call sites pick
+// up the paper's device without naming it; use
+// `crate::model::DeviceModel::default_preset()` (or an explicit preset)
+// instead so the device choice is always visible.
 
 #[cfg(test)]
 mod tests {
@@ -167,7 +219,21 @@ mod tests {
     }
 
     #[test]
-    fn default_is_tegra() {
-        assert_eq!(GpuConfig::default(), GpuConfig::tegra_x1());
+    fn tegra_x2_lowers_the_onchip_offchip_ratio() {
+        let x1 = GpuConfig::tegra_x1();
+        let x2 = GpuConfig::tegra_x2();
+        let ratio = |c: &GpuConfig| c.smem_bytes_per_s() / c.effective_dram_bytes_per_s();
+        assert!(x2.dram_bandwidth_gbps > 2.0 * x1.dram_bandwidth_gbps);
+        assert!(ratio(&x2) < 0.7 * ratio(&x1), "x2 ratio {}", ratio(&x2));
+    }
+
+    #[test]
+    fn adreno_raises_the_onchip_offchip_ratio() {
+        let x1 = GpuConfig::tegra_x1();
+        let a = GpuConfig::adreno_5xx();
+        let ratio = |c: &GpuConfig| c.smem_bytes_per_s() / c.effective_dram_bytes_per_s();
+        assert!(a.peak_flops() < x1.peak_flops());
+        assert!(a.l2_bytes < x1.l2_bytes);
+        assert!(ratio(&a) > 1.3 * ratio(&x1), "adreno ratio {}", ratio(&a));
     }
 }

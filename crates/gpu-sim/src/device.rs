@@ -34,6 +34,11 @@ impl GpuDevice {
         }
     }
 
+    /// Creates a device for a named [`DeviceModel`](crate::model::DeviceModel).
+    pub fn for_model(model: &crate::model::DeviceModel) -> Self {
+        Self::new(model.config.clone())
+    }
+
     /// The device configuration.
     pub fn config(&self) -> &GpuConfig {
         &self.config
@@ -183,6 +188,15 @@ impl TraceSession<'_> {
     pub fn set_span_tag(&mut self, tag: SpanTag) {
         if let Some(profiler) = &mut self.profiler {
             profiler.set_tag(tag);
+        }
+    }
+
+    /// Stamps a device name onto subsequently recorded spans (no-op when
+    /// profiling is disabled; call after
+    /// [`enable_profiling`](Self::enable_profiling)).
+    pub fn set_device_tag(&mut self, device: &'static str) {
+        if let Some(profiler) = &mut self.profiler {
+            profiler.set_device(device);
         }
     }
 

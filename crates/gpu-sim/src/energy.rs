@@ -37,6 +37,32 @@ impl EnergyModel {
         }
     }
 
+    /// 16 nm Pascal-class constants (Jetson TX2): slightly cheaper
+    /// dynamic energy than the 20 nm X1, slightly higher static rails.
+    pub fn tegra_x2() -> Self {
+        Self {
+            gpu_static_w: 1.6,
+            system_static_w: 2.4,
+            dram_pj_per_byte: 42.0,
+            smem_pj_per_byte: 2.8,
+            flop_pj: 3.2,
+            launch_nj: 850.0,
+        }
+    }
+
+    /// Low-end Adreno 5xx-class constants: lower static rails (smaller
+    /// die, phone power budget) but pricier DRAM bytes on the narrow bus.
+    pub fn adreno_5xx() -> Self {
+        Self {
+            gpu_static_w: 0.9,
+            system_static_w: 1.8,
+            dram_pj_per_byte: 52.0,
+            smem_pj_per_byte: 3.6,
+            flop_pj: 4.4,
+            launch_nj: 1100.0,
+        }
+    }
+
     /// Computes the energy of a run.
     pub fn energy(
         &self,

@@ -46,6 +46,7 @@ pub mod crm;
 pub mod device;
 pub mod energy;
 pub mod kernel;
+pub mod model;
 pub mod profile;
 pub mod report;
 pub mod sm;
@@ -57,6 +58,7 @@ pub use crm::CrmModel;
 pub use device::{GpuDevice, TraceSession};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use kernel::{KernelDesc, KernelKind, MemAccess};
+pub use model::{DeviceModel, DEVICE_ENV_VAR, PRESET_NAMES};
 pub use profile::{validate_chrome_trace, ChromeTrace, KernelSpan, Phase, Profiler, SpanTag};
 pub use report::{KernelReport, SimReport, StallBreakdown};
 pub use sm::{analyze as analyze_occupancy, Occupancy};

@@ -1,0 +1,269 @@
+//! Device models: named GPU presets with derived roofline facts.
+//!
+//! The paper's crossovers are device-shaped — Sgemv is DRAM-bound on the
+//! Tegra X1's 25.6 GB/s LPDDR4 (Fig. 4), the maximum tissue size is capped
+//! by the on-chip/off-chip bandwidth ratio (Fig. 9), and DRS's win depends
+//! on the DRAM-traffic/divergence trade (Fig. 16). A [`DeviceModel`] makes
+//! the device a first-class, *named* parameter instead of an implicit
+//! `GpuConfig::tegra_x1()` conjured at each call site, so every layer above
+//! (plans, executors, evaluators, serving) can be compiled for one device
+//! and refuse silent reuse on another.
+//!
+//! Presets are selectable by name ([`DeviceModel::preset`]) and via the
+//! `MEMLSTM_DEVICE` environment variable ([`DeviceModel::from_env`]); the
+//! Tegra X1 stays the default so existing outputs are unchanged.
+
+use crate::config::GpuConfig;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock};
+
+/// The environment variable consulted by [`DeviceModel::from_env`].
+pub const DEVICE_ENV_VAR: &str = "MEMLSTM_DEVICE";
+
+/// Preset names accepted by [`DeviceModel::preset`] and `MEMLSTM_DEVICE`.
+pub const PRESET_NAMES: [&str; 4] = ["tegra_x1", "tegra_x2", "adreno_5xx", "tegra_x1_2x"];
+
+/// A named GPU device: preset key, full [`GpuConfig`], and derived
+/// roofline facts (flops/byte ridge, L2-resident weight budget, MTS
+/// ceiling from the on-chip/off-chip bandwidth ratio).
+///
+/// Two models compare equal iff their names and configs match; plans
+/// record the model they were compiled for and downstream layers use this
+/// equality to refuse cross-device reuse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    /// Short machine-readable preset key (e.g. `"tegra_x1"`). Custom
+    /// models may carry any non-empty name.
+    pub name: String,
+    /// The full simulator configuration for this device.
+    pub config: GpuConfig,
+}
+
+impl DeviceModel {
+    /// The paper's evaluation platform (Table I): Jetson TX1.
+    pub fn tegra_x1() -> Self {
+        Self {
+            name: "tegra_x1".to_owned(),
+            config: GpuConfig::tegra_x1(),
+        }
+    }
+
+    /// Pascal-class successor (Jetson TX2): same SM count, higher clock,
+    /// 58.4 GB/s LPDDR4 — a *lower* on-chip/off-chip ratio than the X1,
+    /// so the MTS ceiling drops to ~3.
+    pub fn tegra_x2() -> Self {
+        Self {
+            name: "tegra_x2".to_owned(),
+            config: GpuConfig::tegra_x2(),
+        }
+    }
+
+    /// Low-end Adreno 5xx-class part: one SM-equivalent, ~14.9 GB/s
+    /// DRAM, small L2 — a *higher* on-chip/off-chip ratio, pushing the
+    /// MTS ceiling up to ~8 while absolute throughput falls.
+    pub fn adreno_5xx() -> Self {
+        Self {
+            name: "adreno_5xx".to_owned(),
+            config: GpuConfig::adreno_5xx(),
+        }
+    }
+
+    /// Hypothetical scaled X1 (double SMs and DRAM bandwidth), used by
+    /// the gpu-scaling ablation.
+    pub fn tegra_x1_2x() -> Self {
+        Self {
+            name: "tegra_x1_2x".to_owned(),
+            config: GpuConfig::tegra_x1_2x(),
+        }
+    }
+
+    /// A custom model from an explicit name and config.
+    ///
+    /// # Panics
+    /// Panics if `name` is empty.
+    pub fn custom(name: impl Into<String>, config: GpuConfig) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "DeviceModel::custom: empty name");
+        Self { name, config }
+    }
+
+    /// The default preset: the paper's Tegra X1. Every entry point that
+    /// used to hardcode `GpuConfig::tegra_x1()` now routes through here,
+    /// making the default *named* rather than implicit.
+    pub fn default_preset() -> Self {
+        Self::tegra_x1()
+    }
+
+    /// Looks up a preset by key; `None` for unknown names.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "tegra_x1" => Some(Self::tegra_x1()),
+            "tegra_x2" => Some(Self::tegra_x2()),
+            "adreno_5xx" => Some(Self::adreno_5xx()),
+            "tegra_x1_2x" => Some(Self::tegra_x1_2x()),
+            _ => None,
+        }
+    }
+
+    /// All presets, in registry order.
+    pub fn presets() -> Vec<Self> {
+        PRESET_NAMES
+            .iter()
+            .map(|n| Self::preset(n).expect("registry names resolve"))
+            .collect()
+    }
+
+    /// Resolves the device from the `MEMLSTM_DEVICE` environment
+    /// variable: unset or empty yields [`DeviceModel::default_preset`].
+    ///
+    /// # Panics
+    /// Panics on an unknown preset name, listing the valid ones — a
+    /// misspelled device must not silently fall back to the default.
+    pub fn from_env() -> Self {
+        match std::env::var(DEVICE_ENV_VAR) {
+            Ok(name) if !name.is_empty() => Self::preset(&name).unwrap_or_else(|| {
+                panic!(
+                    "{DEVICE_ENV_VAR}={name}: unknown device preset (valid: {})",
+                    PRESET_NAMES.join(", ")
+                )
+            }),
+            _ => Self::default_preset(),
+        }
+    }
+
+    /// Roofline ridge point in FLOPs per DRAM byte: kernels with lower
+    /// arithmetic intensity are DRAM-bound on this device (the paper's
+    /// Fig. 4 premise for Sgemv).
+    pub fn ridge_flops_per_byte(&self) -> f64 {
+        self.config.peak_flops() / self.config.effective_dram_bytes_per_s()
+    }
+
+    /// On-chip to off-chip effective bandwidth ratio — the quantity that
+    /// caps the tissue size (paper Sec. IV-C, Fig. 9).
+    pub fn onchip_offchip_ratio(&self) -> f64 {
+        self.config.smem_bytes_per_s() / self.config.effective_dram_bytes_per_s()
+    }
+
+    /// Analytic ceiling on the maximum tissue size: the on-chip/off-chip
+    /// bandwidth ratio, rounded up. The measured MTS from the offline
+    /// sweep lands at or just below this.
+    pub fn mts_ceiling(&self) -> usize {
+        self.onchip_offchip_ratio().ceil() as usize
+    }
+
+    /// Bytes of weight matrix that can stay L2-resident between kernels
+    /// (the whole L2 minus one way's worth of streaming activations,
+    /// approximated as 1/8 of capacity).
+    pub fn l2_weight_budget_bytes(&self) -> usize {
+        self.config.l2_bytes - self.config.l2_bytes / 8
+    }
+
+    /// This model's name as a `'static` string, suitable for the `Copy`
+    /// [`SpanTag`](crate::profile::SpanTag) device field (see
+    /// [`intern_device_name`]).
+    pub fn span_name(&self) -> &'static str {
+        intern_device_name(&self.name)
+    }
+}
+
+static INTERNED_NAMES: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+
+/// Interns a device name to a `'static` string so it can ride inside the
+/// `Copy` [`SpanTag`](crate::profile::SpanTag). Preset keys resolve to
+/// their literal; each distinct custom name is leaked exactly once.
+pub fn intern_device_name(name: &str) -> &'static str {
+    if let Some(preset) = PRESET_NAMES.iter().find(|&&n| n == name) {
+        return preset;
+    }
+    let set = INTERNED_NAMES.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = set.lock().expect("device-name interner poisoned");
+    if let Some(existing) = guard.iter().find(|s| **s == name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_preset_is_tegra_x1() {
+        let d = DeviceModel::default_preset();
+        assert_eq!(d.name, "tegra_x1");
+        assert_eq!(d.config, GpuConfig::tegra_x1());
+    }
+
+    #[test]
+    fn registry_round_trips_every_preset() {
+        for name in PRESET_NAMES {
+            let d = DeviceModel::preset(name).expect("preset resolves");
+            assert_eq!(d.name, name);
+        }
+        assert_eq!(DeviceModel::presets().len(), PRESET_NAMES.len());
+        assert!(DeviceModel::preset("gtx_1080").is_none());
+    }
+
+    #[test]
+    fn ratio_orders_presets_as_designed() {
+        // tegra_x2 trades bandwidth headroom for tissue depth; the
+        // adreno's weak DRAM pushes the ratio (and MTS ceiling) up.
+        let x1 = DeviceModel::tegra_x1().onchip_offchip_ratio();
+        let x2 = DeviceModel::tegra_x2().onchip_offchip_ratio();
+        let adreno = DeviceModel::adreno_5xx().onchip_offchip_ratio();
+        let x1_2x = DeviceModel::tegra_x1_2x().onchip_offchip_ratio();
+        assert!(x2 < x1, "x2 ratio {x2} must be below x1 {x1}");
+        assert!(adreno > x1, "adreno ratio {adreno} must be above x1 {x1}");
+        // Scaling SMs and DRAM together preserves the ratio.
+        assert!((x1_2x - x1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mts_ceiling_brackets_paper_range_on_x1() {
+        // Fig. 9 reports MTS 5-6 on the TX1.
+        let c = DeviceModel::tegra_x1().mts_ceiling();
+        assert!((5..=7).contains(&c), "ceiling {c}");
+        assert!(DeviceModel::tegra_x2().mts_ceiling() < c);
+        assert!(DeviceModel::adreno_5xx().mts_ceiling() > c);
+    }
+
+    #[test]
+    fn ridge_point_makes_sgemv_dram_bound_everywhere() {
+        // Sgemv does ~2 FLOPs per 4-byte weight — 0.5 FLOPs/byte, far
+        // below every preset's ridge (the paper's Fig. 4 premise).
+        for d in DeviceModel::presets() {
+            assert!(
+                d.ridge_flops_per_byte() > 0.5,
+                "{}: ridge {}",
+                d.name,
+                d.ridge_flops_per_byte()
+            );
+        }
+    }
+
+    #[test]
+    fn l2_budget_is_positive_and_below_capacity() {
+        for d in DeviceModel::presets() {
+            let b = d.l2_weight_budget_bytes();
+            assert!(b > 0 && b < d.config.l2_bytes, "{}: budget {b}", d.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty name")]
+    fn custom_rejects_empty_name() {
+        DeviceModel::custom("", GpuConfig::tegra_x1());
+    }
+
+    #[test]
+    fn interning_is_stable_and_preset_literals_are_reused() {
+        let a = intern_device_name("tegra_x1");
+        assert!(std::ptr::eq(a, PRESET_NAMES[0]));
+        let c1 = intern_device_name("my_custom_gpu");
+        let c2 = intern_device_name("my_custom_gpu");
+        assert!(std::ptr::eq(c1, c2), "custom names intern to one leak");
+        assert_eq!(DeviceModel::tegra_x2().span_name(), "tegra_x2");
+    }
+}

@@ -78,6 +78,11 @@ pub struct SpanTag {
     /// Cross-request batch size, when the kernel serves several sequences
     /// in one launch (the serving engine's lockstep rounds).
     pub batch: Option<u32>,
+    /// Device the kernel was priced on (interned via
+    /// [`intern_device_name`](crate::model::intern_device_name)), so
+    /// spans from different devices stay distinguishable when folded into
+    /// one timeline.
+    pub device: Option<&'static str>,
 }
 
 impl SpanTag {
@@ -133,6 +138,15 @@ impl SpanTag {
     /// makes weight-load amortization visible per kernel.
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = Some(batch as u32);
+        self
+    }
+
+    /// Returns the tag with a device name attached (use
+    /// [`DeviceModel::span_name`](crate::model::DeviceModel::span_name)
+    /// for the interned name). Usually stamped wholesale via
+    /// [`Profiler::set_device`] rather than per tag.
+    pub fn with_device(mut self, device: &'static str) -> Self {
+        self.device = Some(device);
         self
     }
 
@@ -242,6 +256,7 @@ pub struct Profiler {
     spans: Vec<KernelSpan>,
     clock_s: f64,
     tag: SpanTag,
+    device: Option<&'static str>,
 }
 
 impl Profiler {
@@ -260,15 +275,30 @@ impl Profiler {
         self.tag
     }
 
+    /// Sets the device name stamped onto subsequently recorded spans
+    /// (unless the active tag already names one). Use
+    /// [`DeviceModel::span_name`](crate::model::DeviceModel::span_name)
+    /// for the interned name.
+    pub fn set_device(&mut self, device: &'static str) {
+        self.device = Some(device);
+    }
+
+    /// The device name stamped onto recorded spans, if set.
+    pub fn device(&self) -> Option<&'static str> {
+        self.device
+    }
+
     /// Records one span from an already-priced kernel report. The span is
     /// placed at the current simulated clock, which then advances by the
     /// kernel's `time_s` — the same quantity, accumulated in the same
     /// order, as the aggregate report's `time_s`.
     pub fn record(&mut self, k: &KernelReport) {
+        let mut tag = self.tag;
+        tag.device = tag.device.or(self.device);
         let span = KernelSpan {
             label: k.label.clone(),
             kind: k.kind,
-            tag: self.tag,
+            tag,
             start_s: self.clock_s,
             time_s: k.time_s,
             exec_s: k.exec_s,
@@ -482,6 +512,9 @@ impl Profiler {
             }
             if let Some(b) = span.tag.batch {
                 args.push(("batch", ArgValue::Int(i64::from(b))));
+            }
+            if let Some(d) = span.tag.device {
+                args.push(("device", ArgValue::Str(d.to_owned())));
             }
             trace.add_span(
                 pid,
@@ -1070,6 +1103,23 @@ mod tests {
         assert_eq!(SpanTag::head().label(), "head");
         assert_eq!(SpanTag::default().label(), "other");
         assert_eq!(SpanTag::offline(1).label(), "L1/offline");
+    }
+
+    #[test]
+    fn device_stamp_survives_into_spans_and_chrome_args() {
+        let mut p = Profiler::new();
+        p.set_device("tegra_x2");
+        p.set_tag(SpanTag::wx(0));
+        p.record(&report("Sgemm(W,X)", KernelKind::Sgemm, 1.0));
+        // A tag that already names a device wins over the stamp.
+        p.set_tag(SpanTag::head().with_device("adreno_5xx"));
+        p.record(&report("softmax", KernelKind::ElementWise, 0.5));
+        assert_eq!(p.spans()[0].tag.device, Some("tegra_x2"));
+        assert_eq!(p.spans()[1].tag.device, Some("adreno_5xx"));
+        let json = p.chrome_trace().to_json();
+        assert!(json.contains("\"device\":\"tegra_x2\""), "{json}");
+        assert!(json.contains("\"device\":\"adreno_5xx\""), "{json}");
+        assert!(validate_chrome_trace(&json).is_ok());
     }
 
     #[test]

@@ -390,7 +390,7 @@ mod tests {
     use crate::config::ModelConfig;
     use crate::plan::PlanRuntime;
     use crate::schedule::u_sgemv_kernel;
-    use gpu_sim::{GpuConfig, GpuDevice};
+    use gpu_sim::{DeviceModel, GpuConfig, GpuDevice};
     use tensor::init::seeded_rng;
 
     fn setup(seed: u64) -> (LstmNetwork, Vec<Vec<Vector>>) {
@@ -406,7 +406,8 @@ mod tests {
     #[test]
     fn batch_of_one_matches_plan_runtime_exactly() {
         let (net, seqs) = setup(21);
-        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        let plan =
+            ExecutionPlan::compile_baseline(&net, seqs[0].len(), &DeviceModel::default_preset());
         let mut serial_trace: Vec<KernelDesc> = Vec::new();
         let serial = PlanRuntime::new().run_lstm(&plan, &net, &seqs[0], &mut serial_trace);
         let mut batch_trace: Vec<KernelDesc> = Vec::new();
@@ -421,7 +422,8 @@ mod tests {
     #[test]
     fn batched_outputs_bit_identical_per_sequence() {
         let (net, seqs) = setup(22);
-        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        let plan =
+            ExecutionPlan::compile_baseline(&net, seqs[0].len(), &DeviceModel::default_preset());
         let batched =
             BatchRuntime::new().run_lstm_batch(&plan, &net, &seqs, &mut crate::plan::NullSink);
         for (xs, out) in seqs.iter().zip(&batched) {
@@ -433,7 +435,8 @@ mod tests {
     #[test]
     fn batched_kernel_amortizes_weight_reads_only() {
         let (net, seqs) = setup(23);
-        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        let plan =
+            ExecutionPlan::compile_baseline(&net, seqs[0].len(), &DeviceModel::default_preset());
         let PlanBody::Lstm(layers) = &plan.body else {
             unreachable!()
         };
@@ -459,7 +462,8 @@ mod tests {
     #[test]
     fn batched_run_is_cheaper_than_serial_per_sequence() {
         let (net, seqs) = setup(24);
-        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        let plan =
+            ExecutionPlan::compile_baseline(&net, seqs[0].len(), &DeviceModel::default_preset());
 
         let mut serial_time = 0.0;
         for xs in &seqs {
@@ -521,7 +525,8 @@ mod tests {
     #[should_panic(expected = "empty batch")]
     fn empty_batch_rejected() {
         let (net, seqs) = setup(25);
-        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        let plan =
+            ExecutionPlan::compile_baseline(&net, seqs[0].len(), &DeviceModel::default_preset());
         BatchRuntime::new().run_lstm_batch(&plan, &net, &[], &mut crate::plan::NullSink);
     }
 
@@ -529,7 +534,11 @@ mod tests {
     #[should_panic(expected = "sequence length")]
     fn wrong_length_sequence_rejected() {
         let (net, seqs) = setup(26);
-        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len() + 1);
+        let plan = ExecutionPlan::compile_baseline(
+            &net,
+            seqs[0].len() + 1,
+            &DeviceModel::default_preset(),
+        );
         BatchRuntime::new().run_lstm_batch(&plan, &net, &seqs, &mut crate::plan::NullSink);
     }
 }

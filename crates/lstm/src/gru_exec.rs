@@ -111,12 +111,20 @@ impl GruNetwork {
 #[derive(Debug, Clone, Copy)]
 pub struct GruBaselineExecutor<'a> {
     net: &'a GruNetwork,
+    device: Option<&'a gpu_sim::DeviceModel>,
 }
 
 impl<'a> GruBaselineExecutor<'a> {
-    /// Creates an executor over `net`.
+    /// Creates an executor over `net`, planning for the default preset
+    /// (the paper's Tegra X1).
     pub fn new(net: &'a GruNetwork) -> Self {
-        Self { net }
+        Self { net, device: None }
+    }
+
+    /// Plans for `device` instead of the default preset.
+    pub fn on_device(mut self, device: &'a gpu_sim::DeviceModel) -> Self {
+        self.device = Some(device);
+        self
     }
 
     /// Runs `xs`, producing numbers and the kernel trace.
@@ -125,7 +133,11 @@ impl<'a> GruBaselineExecutor<'a> {
     /// Panics if `xs` is empty.
     pub fn run(&self, xs: &[Vector]) -> NetworkRun {
         assert!(!xs.is_empty(), "GruBaselineExecutor::run: empty input");
-        let plan = ExecutionPlan::compile_gru_baseline(self.net, xs.len());
+        let device = self
+            .device
+            .cloned()
+            .unwrap_or_else(gpu_sim::DeviceModel::default_preset);
+        let plan = ExecutionPlan::compile_gru_baseline(self.net, xs.len(), &device);
         let mut collector = TraceCollector::default();
         let output = PlanRuntime::new().run_gru(&plan, self.net, xs, &mut collector);
         collector.into_network_run(plan.regions, output)

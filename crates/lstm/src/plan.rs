@@ -37,7 +37,7 @@ use crate::regions::{NetworkRegions, RegionAllocator};
 use crate::schedule::{
     ew_kernel, head_kernel, u_sgemv_kernel, wx_sgemm_kernel, LayerRun, NetworkRun, F32,
 };
-use gpu_sim::{KernelDesc, KernelKind, RegionId, SpanTag, TraceSession};
+use gpu_sim::{DeviceModel, KernelDesc, KernelKind, RegionId, SpanTag, TraceSession};
 use tensor::Vector;
 
 /// Receives kernels as the runtime "launches" them.
@@ -507,14 +507,20 @@ pub struct ExecutionPlan {
     pub body: PlanBody,
     /// The classifier-head kernel.
     pub head: KernelDesc,
+    /// Device the plan was compiled for. Thresholds, tissue sizes and
+    /// kernel shapes encode this device's bandwidth ratios, so pricing
+    /// layers (profiling, serving, evaluation) refuse to run the plan on
+    /// a different device.
+    pub device: DeviceModel,
 }
 
 impl ExecutionPlan {
-    /// Compiles the Algorithm 1 baseline flow for an LSTM network.
+    /// Compiles the Algorithm 1 baseline flow for an LSTM network on
+    /// `device`.
     ///
     /// # Panics
     /// Panics if `seq_len` is zero.
-    pub fn compile_baseline(net: &LstmNetwork, seq_len: usize) -> Self {
+    pub fn compile_baseline(net: &LstmNetwork, seq_len: usize, device: &DeviceModel) -> Self {
         assert!(
             seq_len > 0,
             "ExecutionPlan::compile_baseline: zero-length sequence"
@@ -561,14 +567,16 @@ impl ExecutionPlan {
             seq_len,
             body: PlanBody::Lstm(layers),
             head,
+            device: device.clone(),
         }
     }
 
-    /// Compiles the cuDNN-style baseline flow for a GRU network.
+    /// Compiles the cuDNN-style baseline flow for a GRU network on
+    /// `device`.
     ///
     /// # Panics
     /// Panics if `seq_len` is zero.
-    pub fn compile_gru_baseline(net: &GruNetwork, seq_len: usize) -> Self {
+    pub fn compile_gru_baseline(net: &GruNetwork, seq_len: usize, device: &DeviceModel) -> Self {
         assert!(
             seq_len > 0,
             "ExecutionPlan::compile_gru_baseline: zero-length sequence"
@@ -622,6 +630,7 @@ impl ExecutionPlan {
             seq_len,
             body: PlanBody::Gru(layers),
             head,
+            device: device.clone(),
         }
     }
 
@@ -1033,7 +1042,7 @@ mod tests {
     #[test]
     fn baseline_plan_matches_exact_forward() {
         let (net, xs) = setup();
-        let plan = ExecutionPlan::compile_baseline(&net, xs.len());
+        let plan = ExecutionPlan::compile_baseline(&net, xs.len(), &DeviceModel::default_preset());
         let out = PlanRuntime::new().run_lstm(&plan, &net, &xs, &mut NullSink);
         let exact = net.forward(&xs);
         assert_eq!(out.logits, exact.logits);
@@ -1044,7 +1053,7 @@ mod tests {
     #[test]
     fn collector_segments_match_flat_stream() {
         let (net, xs) = setup();
-        let plan = ExecutionPlan::compile_baseline(&net, xs.len());
+        let plan = ExecutionPlan::compile_baseline(&net, xs.len(), &DeviceModel::default_preset());
         let mut runtime = PlanRuntime::new();
         let mut flat: Vec<KernelDesc> = Vec::new();
         runtime.run_lstm(&plan, &net, &xs, &mut flat);
@@ -1062,7 +1071,7 @@ mod tests {
     #[test]
     fn pricing_sink_matches_batch_pricing() {
         let (net, xs) = setup();
-        let plan = ExecutionPlan::compile_baseline(&net, xs.len());
+        let plan = ExecutionPlan::compile_baseline(&net, xs.len(), &DeviceModel::default_preset());
         let mut runtime = PlanRuntime::new();
         let mut trace: Vec<KernelDesc> = Vec::new();
         runtime.run_lstm(&plan, &net, &xs, &mut trace);
@@ -1084,7 +1093,8 @@ mod tests {
         let xs: Vec<Vector> = (0..7)
             .map(|_| Vector::from_fn(10, |_| rng.gen_range(-1.0f32..1.0)))
             .collect();
-        let plan = ExecutionPlan::compile_gru_baseline(&net, xs.len());
+        let plan =
+            ExecutionPlan::compile_gru_baseline(&net, xs.len(), &DeviceModel::default_preset());
         let out = PlanRuntime::new().run_gru(&plan, &net, &xs, &mut NullSink);
         let (outputs, logits) = net.forward(&xs);
         assert_eq!(out.logits, logits);
@@ -1117,7 +1127,8 @@ mod tests {
     #[should_panic(expected = "sequence length")]
     fn wrong_length_input_rejected() {
         let (net, xs) = setup();
-        let plan = ExecutionPlan::compile_baseline(&net, xs.len() + 1);
+        let plan =
+            ExecutionPlan::compile_baseline(&net, xs.len() + 1, &DeviceModel::default_preset());
         PlanRuntime::new().run_lstm(&plan, &net, &xs, &mut NullSink);
     }
 
@@ -1125,7 +1136,7 @@ mod tests {
     #[should_panic(expected = "empty input")]
     fn empty_input_rejected() {
         let (net, _) = setup();
-        let plan = ExecutionPlan::compile_baseline(&net, 4);
+        let plan = ExecutionPlan::compile_baseline(&net, 4, &DeviceModel::default_preset());
         PlanRuntime::new().run_lstm(&plan, &net, &[], &mut NullSink);
     }
 }

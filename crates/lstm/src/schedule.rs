@@ -9,7 +9,7 @@
 use crate::network::LstmNetwork;
 use crate::plan::{ExecutionPlan, PlanRuntime, TraceCollector};
 use crate::regions::{NetworkRegions, RegionAllocator};
-use gpu_sim::{GpuDevice, KernelDesc, KernelKind, RegionId};
+use gpu_sim::{DeviceModel, GpuDevice, KernelDesc, KernelKind, RegionId};
 use tensor::Vector;
 
 /// Bytes per `f32`.
@@ -236,12 +236,21 @@ impl NetworkRun {
 #[derive(Debug, Clone, Copy)]
 pub struct BaselineExecutor<'a> {
     net: &'a LstmNetwork,
+    device: Option<&'a DeviceModel>,
 }
 
 impl<'a> BaselineExecutor<'a> {
-    /// Creates a baseline executor over `net`.
+    /// Creates a baseline executor over `net`, planning for the default
+    /// preset ([`DeviceModel::default_preset`], the paper's Tegra X1).
     pub fn new(net: &'a LstmNetwork) -> Self {
-        Self { net }
+        Self { net, device: None }
+    }
+
+    /// Plans for `device` instead of the default preset. The numerics are
+    /// device-independent; the device only stamps the compiled plan.
+    pub fn on_device(mut self, device: &'a DeviceModel) -> Self {
+        self.device = Some(device);
+        self
     }
 
     /// Runs the network on `xs`, producing exact numbers and the kernel
@@ -251,7 +260,11 @@ impl<'a> BaselineExecutor<'a> {
     /// Panics if `xs` is empty.
     pub fn run(&self, xs: &[Vector]) -> NetworkRun {
         assert!(!xs.is_empty(), "BaselineExecutor::run: empty input");
-        let plan = ExecutionPlan::compile_baseline(self.net, xs.len());
+        let device = self
+            .device
+            .cloned()
+            .unwrap_or_else(DeviceModel::default_preset);
+        let plan = ExecutionPlan::compile_baseline(self.net, xs.len(), &device);
         let mut collector = TraceCollector::default();
         let output = PlanRuntime::new().run_lstm(&plan, self.net, xs, &mut collector);
         collector.into_network_run(plan.regions, output)

@@ -29,7 +29,7 @@ use crate::exec::OptimizerConfig;
 use crate::prediction::NetworkPredictors;
 use crate::relevance::{relevance_flops, RelevanceAnalyzer};
 use crate::tissue::{form_tissues, schedule_tissues, schedule_tissues_balanced, Tissue};
-use gpu_sim::{KernelDesc, KernelKind, RegionId};
+use gpu_sim::{DeviceModel, KernelDesc, KernelKind, RegionId};
 use lstm::cell::GatePreacts;
 use lstm::plan::{
     DrsCellPlan, ExecutionPlan, LayerBody, LayerPlan, MaskedUKernel, PlanBody, PlanLayerStats,
@@ -43,12 +43,14 @@ use lstm::{LayerRegions, LstmNetwork};
 use pool::Pool;
 use tensor::Vector;
 
-/// Compiles an [`ExecutionPlan`] for `net` under `config`, analyzing the
-/// `probes` sequences (all of one length) to fix the offline schedule.
+/// Compiles an [`ExecutionPlan`] for `net` under `config` on `device`,
+/// analyzing the `probes` sequences (all of one length) to fix the
+/// offline schedule.
 ///
 /// `analyzers` must hold one per-layer [`RelevanceAnalyzer`] when
 /// `config.inter` is set (and may be empty otherwise) — they are computed
-/// once per model by `OptimizedExecutor::new`.
+/// once per model by `OptimizedExecutor::new`. The plan records `device`;
+/// pricing layers refuse to run it elsewhere.
 ///
 /// # Panics
 /// Panics if `probes` is empty, any probe is empty or differs in length,
@@ -61,8 +63,10 @@ pub fn compile(
     analyzers: &[RelevanceAnalyzer],
     config: &OptimizerConfig,
     probes: &[Vec<Vector>],
+    device: &DeviceModel,
 ) -> ExecutionPlan {
-    try_compile(net, predictors, analyzers, config, probes).unwrap_or_else(|e| panic!("{e}"))
+    try_compile(net, predictors, analyzers, config, probes, device)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Fallible form of [`compile`]: returns a typed [`Error`] instead of
@@ -73,6 +77,7 @@ pub fn try_compile(
     analyzers: &[RelevanceAnalyzer],
     config: &OptimizerConfig,
     probes: &[Vec<Vector>],
+    device: &DeviceModel,
 ) -> Result<ExecutionPlan, Error> {
     if probes.is_empty() {
         return Err(Error::NoProbes);
@@ -157,6 +162,7 @@ pub fn try_compile(
         seq_len,
         body: PlanBody::Lstm(layers),
         head,
+        device: device.clone(),
     })
 }
 

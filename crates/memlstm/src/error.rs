@@ -47,6 +47,15 @@ pub enum Error {
     },
     /// An LSTM entry point was given a plan compiled for a GRU network.
     GruPlan,
+    /// A plan compiled for one device was offered to a different one.
+    /// Plans bake in device-shaped decisions (tissue sizes, thresholds),
+    /// so cross-device reuse is refused rather than silently mispriced.
+    DeviceMismatch {
+        /// Name of the device the plan was compiled for.
+        plan: String,
+        /// Name of the device the plan was offered to.
+        device: String,
+    },
     /// The serve queue is at capacity; retry after a round completes.
     QueueFull {
         /// The configured queue capacity.
@@ -77,6 +86,10 @@ impl fmt::Display for Error {
                 "plan/network layer count mismatch (plan has {plan}, network has {network})"
             ),
             Error::GruPlan => write!(f, "plan was compiled for a GRU network"),
+            Error::DeviceMismatch { plan, device } => write!(
+                f,
+                "plan was compiled for device '{plan}', not '{device}' (recompile for the target device)"
+            ),
             Error::QueueFull { capacity } => {
                 write!(f, "serve queue full ({capacity} pending requests)")
             }
@@ -119,6 +132,13 @@ mod tests {
         assert!(Error::QueueFull { capacity: 2 }
             .to_string()
             .contains("queue full"));
+        let mismatch = Error::DeviceMismatch {
+            plan: "tegra_x1".to_owned(),
+            device: "tegra_x2".to_owned(),
+        };
+        assert!(mismatch
+            .to_string()
+            .contains("compiled for device 'tegra_x1', not 'tegra_x2'"));
     }
 
     #[test]

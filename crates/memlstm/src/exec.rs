@@ -16,6 +16,7 @@ use crate::drs::DrsConfig;
 use crate::error::Error;
 use crate::prediction::NetworkPredictors;
 use crate::relevance::RelevanceAnalyzer;
+use gpu_sim::DeviceModel;
 use lstm::plan::{ExecutionPlan, PlanOutput, PlanRuntime, TraceCollector};
 use lstm::schedule::NetworkRun;
 use lstm::LstmNetwork;
@@ -240,11 +241,15 @@ pub struct OptimizedExecutor<'a> {
     predictors: &'a NetworkPredictors,
     config: OptimizerConfig,
     analyzers: Vec<RelevanceAnalyzer>,
+    device: DeviceModel,
 }
 
 impl<'a> OptimizedExecutor<'a> {
-    /// Creates an executor; the per-layer relevance analyzers (Algorithm 2
-    /// line 2) are precomputed here, once per model.
+    /// Creates an executor planning for the default preset
+    /// ([`DeviceModel::default_preset`], the paper's Tegra X1); the
+    /// per-layer relevance analyzers (Algorithm 2 line 2) are precomputed
+    /// here, once per model. Use [`on_device`](Self::on_device) to plan
+    /// for a different device.
     pub fn new(
         net: &'a LstmNetwork,
         predictors: &'a NetworkPredictors,
@@ -263,12 +268,25 @@ impl<'a> OptimizedExecutor<'a> {
             predictors,
             config,
             analyzers,
+            device: DeviceModel::default_preset(),
         }
+    }
+
+    /// Plans for `device` instead of the default preset: compiled plans
+    /// record it and pricing layers refuse them on other devices.
+    pub fn on_device(mut self, device: DeviceModel) -> Self {
+        self.device = device;
+        self
     }
 
     /// The configuration.
     pub fn config(&self) -> &OptimizerConfig {
         &self.config
+    }
+
+    /// The device plans are compiled for.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
     }
 
     /// The network this executor plans for.
@@ -316,6 +334,7 @@ impl<'a> OptimizedExecutor<'a> {
             &self.analyzers,
             &self.config,
             probes,
+            &self.device,
         )
     }
 
@@ -363,7 +382,9 @@ impl<'a> OptimizedExecutor<'a> {
 }
 
 /// Executes a compiled plan once on a fresh device with profiling enabled,
-/// returning the priced report and the recorded span profile.
+/// returning the priced report and the recorded span profile. Spans are
+/// stamped with the device name, so traces from several devices stay
+/// distinguishable when folded into one timeline.
 ///
 /// Pricing is identical to an unprofiled [`TraceSession`] run — the
 /// profiler observes already-priced kernels and never perturbs cache state
@@ -372,19 +393,41 @@ impl<'a> OptimizedExecutor<'a> {
 /// [`TraceSession`]: gpu_sim::TraceSession
 ///
 /// # Panics
-/// Panics if `xs` is empty or does not match the plan's compiled length.
+/// Panics if the plan was compiled for a different device, or if `xs` is
+/// empty or does not match the plan's compiled length.
+/// [`try_profile_plan`] returns the device mismatch as a typed error
+/// instead.
 pub fn profile_plan(
     plan: &ExecutionPlan,
     net: &LstmNetwork,
     xs: &[Vector],
-    gpu: &gpu_sim::GpuConfig,
+    device: &DeviceModel,
 ) -> (gpu_sim::SimReport, gpu_sim::Profiler) {
-    let mut device = gpu_sim::GpuDevice::new(gpu.clone());
-    let mut session = device.begin_trace();
+    try_profile_plan(plan, net, xs, device).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`profile_plan`]: returns
+/// [`Error::DeviceMismatch`] when the plan was compiled for a different
+/// device. (Empty/mismatched inputs still panic inside the runtime.)
+pub fn try_profile_plan(
+    plan: &ExecutionPlan,
+    net: &LstmNetwork,
+    xs: &[Vector],
+    device: &DeviceModel,
+) -> Result<(gpu_sim::SimReport, gpu_sim::Profiler), Error> {
+    if plan.device != *device {
+        return Err(Error::DeviceMismatch {
+            plan: plan.device.name.clone(),
+            device: device.name.clone(),
+        });
+    }
+    let mut gpu = gpu_sim::GpuDevice::for_model(device);
+    let mut session = gpu.begin_trace();
     session.enable_profiling();
+    session.set_device_tag(device.span_name());
     PlanRuntime::new().run_lstm(plan, net, xs, &mut session);
     let profiler = session.take_profiler().expect("profiling was enabled");
-    (session.finish(), profiler)
+    Ok((session.finish(), profiler))
 }
 
 #[cfg(test)]

@@ -31,12 +31,24 @@ use tensor::Vector;
 pub struct GruDrsExecutor<'a> {
     net: &'a GruNetwork,
     config: DrsConfig,
+    device: gpu_sim::DeviceModel,
 }
 
 impl<'a> GruDrsExecutor<'a> {
-    /// Creates the executor.
+    /// Creates the executor, planning for the default preset (the
+    /// paper's Tegra X1).
     pub fn new(net: &'a GruNetwork, config: DrsConfig) -> Self {
-        Self { net, config }
+        Self {
+            net,
+            config,
+            device: gpu_sim::DeviceModel::default_preset(),
+        }
+    }
+
+    /// Plans for `device` instead of the default preset.
+    pub fn on_device(mut self, device: gpu_sim::DeviceModel) -> Self {
+        self.device = device;
+        self
     }
 
     /// Compiles the GRU Dynamic-Row-Skip flow into an [`ExecutionPlan`]
@@ -106,6 +118,7 @@ impl<'a> GruDrsExecutor<'a> {
             seq_len,
             body: PlanBody::Gru(layers),
             head,
+            device: self.device.clone(),
         }
     }
 

@@ -5,7 +5,7 @@
 //! more cells) and then rises once the on-chip bandwidth saturates and the
 //! kernel must be re-configured. The minimizing size is the MTS.
 
-use gpu_sim::{GpuConfig, GpuDevice, KernelKind};
+use gpu_sim::{DeviceModel, GpuDevice, KernelKind};
 use lstm::regions::RegionAllocator;
 use lstm::schedule::{ew_kernel, tissue_sgemm_kernel};
 
@@ -45,7 +45,7 @@ impl MtsResult {
 }
 
 /// Sweeps tissue sizes `1..=max_size` for a layer of the given hidden
-/// width on `config`, returning the per-cell-time minimizer.
+/// width on `device`, returning the per-cell-time minimizer.
 ///
 /// The sweep simulates a steady-state tissue: one `Sgemm(U, H_t)` (with a
 /// cold cache — the united matrix never survives the L2 between tissues at
@@ -53,11 +53,11 @@ impl MtsResult {
 ///
 /// # Panics
 /// Panics if `max_size == 0`.
-pub fn determine_mts(config: &GpuConfig, hidden: usize, max_size: usize) -> MtsResult {
+pub fn determine_mts(device: &DeviceModel, hidden: usize, max_size: usize) -> MtsResult {
     assert!(max_size > 0, "determine_mts: max_size must be positive");
     let mut samples = Vec::with_capacity(max_size);
     for t in 1..=max_size {
-        let mut device = GpuDevice::new(config.clone());
+        let mut gpu = GpuDevice::for_model(device);
         let mut alloc = RegionAllocator::new();
         let u_region = alloc.fresh();
         // Simulate a few consecutive tissues so cache state is steady.
@@ -73,10 +73,10 @@ pub fn determine_mts(config: &GpuConfig, hidden: usize, max_size: usize) -> MtsR
             ));
             trace.push(ew_kernel(format!("lstm_ew t{k}"), hidden, t, &mut alloc));
         }
-        let report = device.run_trace(&trace);
+        let report = gpu.run_trace(&trace);
         let reconfigured = {
             // Re-run the first kernel on a fresh device to inspect flags.
-            let mut probe = GpuDevice::new(config.clone());
+            let mut probe = GpuDevice::for_model(device);
             probe.launch(&trace[0]).reconfigured
         };
         samples.push(MtsSample {
@@ -101,7 +101,7 @@ mod tests {
     #[test]
     fn mts_lands_in_paper_range_for_table_2_sizes() {
         // Paper Fig. 9: MTS is 5-6 on the TX1 across the benchmarks.
-        let cfg = GpuConfig::tegra_x1();
+        let cfg = DeviceModel::tegra_x1();
         for hidden in [256usize, 300, 512, 650] {
             let result = determine_mts(&cfg, hidden, 10);
             assert!(
@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn performance_rises_then_falls() {
-        let cfg = GpuConfig::tegra_x1();
+        let cfg = DeviceModel::tegra_x1();
         let result = determine_mts(&cfg, 512, 10);
         let perf = result.normalized_performance();
         // Performance at MTS strictly better than at 1 and than at 10.
@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn smem_utilization_grows_with_tissue_size() {
-        let cfg = GpuConfig::tegra_x1();
+        let cfg = DeviceModel::tegra_x1();
         let result = determine_mts(&cfg, 512, 8);
         let first = result.samples.first().unwrap().smem_utilization;
         let last = result.samples.last().unwrap().smem_utilization;
@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn oversized_tissues_are_reconfigured() {
-        let cfg = GpuConfig::tegra_x1();
+        let cfg = DeviceModel::tegra_x1();
         let result = determine_mts(&cfg, 512, 10);
         assert!(result.samples.last().unwrap().reconfigured);
         assert!(!result.samples.first().unwrap().reconfigured);
@@ -146,6 +146,32 @@ mod tests {
     #[test]
     #[should_panic(expected = "max_size must be positive")]
     fn zero_max_panics() {
-        determine_mts(&GpuConfig::tegra_x1(), 64, 0);
+        determine_mts(&DeviceModel::tegra_x1(), 64, 0);
+    }
+
+    #[test]
+    fn mts_is_monotone_in_onchip_offchip_ratio() {
+        // The MTS emerges from the on-chip/off-chip bandwidth ratio
+        // (Fig. 9): ordering the presets by that ratio must order their
+        // measured MTS the same way (ties allowed).
+        let mut presets = DeviceModel::presets();
+        presets.sort_by(|a, b| {
+            a.onchip_offchip_ratio()
+                .total_cmp(&b.onchip_offchip_ratio())
+        });
+        let mut last = 0usize;
+        for d in &presets {
+            let mts = determine_mts(d, 512, 12).mts;
+            assert!(
+                mts >= last,
+                "{}: MTS {mts} below the lower-ratio preset's {last}",
+                d.name
+            );
+            last = mts;
+        }
+        // And the endpoints genuinely differ: the sweep separates devices.
+        let low = determine_mts(&presets[0], 512, 12).mts;
+        let high = determine_mts(&presets[presets.len() - 1], 512, 12).mts;
+        assert!(high > low, "sweep must separate presets ({low} vs {high})");
     }
 }

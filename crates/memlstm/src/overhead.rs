@@ -7,7 +7,7 @@
 //! latency and standby power. This module measures each contribution by
 //! re-simulating the trace with the overhead kernels removed.
 
-use gpu_sim::{GpuConfig, GpuDevice, KernelDesc};
+use gpu_sim::{DeviceModel, GpuDevice, KernelDesc};
 use lstm::schedule::NetworkRun;
 
 /// Measured overhead of one mechanism.
@@ -33,10 +33,10 @@ pub fn is_intra_overhead(kernel: &KernelDesc) -> bool {
 
 fn measure(
     run: &NetworkRun,
-    gpu: &GpuConfig,
+    device: &DeviceModel,
     is_overhead: impl Fn(&KernelDesc) -> bool,
 ) -> OverheadReport {
-    let mut device = GpuDevice::new(gpu.clone());
+    let mut device = GpuDevice::for_model(device);
     let full = device.run_trace(run.trace());
     device.reset();
     let reduced_trace: Vec<KernelDesc> = run.trace().filter(|k| !is_overhead(k)).cloned().collect();
@@ -52,19 +52,19 @@ fn measure(
 }
 
 /// Overhead of the inter-cell level's added computations.
-pub fn inter_overhead(run: &NetworkRun, gpu: &GpuConfig) -> OverheadReport {
-    measure(run, gpu, is_inter_overhead)
+pub fn inter_overhead(run: &NetworkRun, device: &DeviceModel) -> OverheadReport {
+    measure(run, device, is_inter_overhead)
 }
 
 /// Overhead of the intra-cell level's added software computations.
-pub fn intra_overhead(run: &NetworkRun, gpu: &GpuConfig) -> OverheadReport {
-    measure(run, gpu, is_intra_overhead)
+pub fn intra_overhead(run: &NetworkRun, device: &DeviceModel) -> OverheadReport {
+    measure(run, device, is_intra_overhead)
 }
 
 /// Overhead of the CRM hardware: reorganization latency over total time,
 /// and its standby power fraction (from the gate-level-derived constant).
-pub fn crm_overhead(run: &NetworkRun, gpu: &GpuConfig) -> OverheadReport {
-    let mut device = GpuDevice::new(gpu.clone());
+pub fn crm_overhead(run: &NetworkRun, device: &DeviceModel) -> OverheadReport {
+    let mut device = GpuDevice::for_model(device);
     let crm_energy_frac = device.crm().energy_overhead_frac();
     let full = device.run_trace(run.trace());
     if full.time_s <= 0.0 {
@@ -114,7 +114,7 @@ mod tests {
         // Paper Sec. VI-F: inter 2.23% perf / 1.65% power; intra 3.39% /
         // 3.21%; CRM 1.47% / <1%. Ours must land in the "few percent" band.
         let run = combined_run();
-        let gpu = GpuConfig::tegra_x1();
+        let gpu = DeviceModel::tegra_x1();
         let inter = inter_overhead(&run, &gpu);
         assert!(
             inter.perf_frac > 0.0 && inter.perf_frac < 0.10,
@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn empty_trace_reports_zero() {
         let run = combined_run();
-        let gpu = GpuConfig::tegra_x1();
+        let gpu = DeviceModel::tegra_x1();
         // Degenerate filter removing everything still yields a finite report.
         let report = measure(&run, &gpu, |_| true);
         assert!(report.perf_frac <= 1.0);

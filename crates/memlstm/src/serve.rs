@@ -22,13 +22,17 @@
 //! changes only the kernel stream, never the numbers.
 
 use crate::error::{Error, MemlstmResult};
-use gpu_sim::{GpuConfig, GpuDevice};
+use gpu_sim::{DeviceModel, GpuDevice};
 use lstm::batch::BatchRuntime;
 use lstm::network::LstmNetwork;
 use lstm::plan::{ExecutionPlan, PlanBody};
 use tensor::Vector;
 
 /// Tunables for the serve engine.
+///
+/// There is deliberately no `Default`: the device a round is priced on
+/// changes every latency and batching decision, so callers must name it
+/// ([`ServeConfig::new`]) rather than inherit a silent Tegra X1.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Maximum requests ganged into one round (the batch size cap).
@@ -36,17 +40,32 @@ pub struct ServeConfig {
     /// Maximum pending requests; [`ServeEngine::submit`] returns
     /// [`Error::QueueFull`] beyond this.
     pub queue_capacity: usize,
-    /// The simulated device each round is priced on.
-    pub gpu: GpuConfig,
+    /// The simulated device each round is priced on. Must match the
+    /// device the plan was compiled for ([`ServeEngine::new`] checks).
+    pub device: DeviceModel,
 }
 
-impl Default for ServeConfig {
-    fn default() -> Self {
+impl ServeConfig {
+    /// A configuration for `device` with the stock limits
+    /// (`max_batch` 8, `queue_capacity` 64).
+    pub fn new(device: DeviceModel) -> Self {
         Self {
             max_batch: 8,
             queue_capacity: 64,
-            gpu: GpuConfig::tegra_x1(),
+            device,
         }
+    }
+
+    /// Replaces the per-round batch-size cap.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Replaces the pending-queue capacity.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
     }
 }
 
@@ -122,9 +141,15 @@ pub struct ServeEngine<'a> {
 impl<'a> ServeEngine<'a> {
     /// Creates an engine for `plan` over `net`.
     ///
+    /// Every gang member runs on the plan's device — a round is one
+    /// lockstep kernel stream, so requests cannot be priced on different
+    /// hardware. The config therefore has to name the same device the
+    /// plan was compiled for.
+    ///
     /// # Errors
-    /// [`Error::GruPlan`] if the plan was compiled for a GRU network, or
-    /// [`Error::LayerCountMismatch`] if the plan and network disagree.
+    /// [`Error::GruPlan`] if the plan was compiled for a GRU network,
+    /// [`Error::LayerCountMismatch`] if the plan and network disagree, or
+    /// [`Error::DeviceMismatch`] if the config's device is not the plan's.
     pub fn new(
         plan: &'a ExecutionPlan,
         net: &'a LstmNetwork,
@@ -137,6 +162,12 @@ impl<'a> ServeEngine<'a> {
             return Err(Error::LayerCountMismatch {
                 plan: layer_plans.len(),
                 network: net.layers().len(),
+            });
+        }
+        if plan.device != config.device {
+            return Err(Error::DeviceMismatch {
+                plan: plan.device.name.clone(),
+                device: config.device.name.clone(),
             });
         }
         Ok(Self {
@@ -245,7 +276,7 @@ impl<'a> ServeEngine<'a> {
         });
 
         let seqs: Vec<Vec<Vector>> = gang.iter().map(|p| p.request.xs.clone()).collect();
-        let mut device = GpuDevice::new(self.config.gpu.clone());
+        let mut device = GpuDevice::for_model(&self.config.device);
         let mut session = device.begin_trace();
         let outputs = self
             .runtime
@@ -289,6 +320,10 @@ mod tests {
     use super::*;
     use lstm::plan::PlanRuntime;
     use lstm::{LstmNetwork, ModelConfig};
+
+    fn config() -> ServeConfig {
+        ServeConfig::new(DeviceModel::default_preset())
+    }
     use tensor::init::seeded_rng;
 
     fn setup(seed: u64) -> (LstmNetwork, ExecutionPlan, Vec<Vec<Vector>>) {
@@ -298,7 +333,8 @@ mod tests {
         let seqs: Vec<Vec<Vector>> = (0..6)
             .map(|_| lstm::random_inputs(&config, &mut rng))
             .collect();
-        let plan = ExecutionPlan::compile_baseline(&net, seqs[0].len());
+        let plan =
+            ExecutionPlan::compile_baseline(&net, seqs[0].len(), &DeviceModel::default_preset());
         (net, plan, seqs)
     }
 
@@ -314,7 +350,7 @@ mod tests {
     #[test]
     fn served_logits_are_bit_identical_to_solo_runs() {
         let (net, plan, seqs) = setup(1);
-        let mut engine = ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap();
+        let mut engine = ServeEngine::new(&plan, &net, config()).unwrap();
         for (i, xs) in seqs.iter().enumerate() {
             engine.submit(request(i as u64, xs, 0.0)).unwrap();
         }
@@ -334,16 +370,8 @@ mod tests {
     #[test]
     fn batching_beats_serial_service_time() {
         let (net, plan, seqs) = setup(2);
-        let mut serial = ServeEngine::new(
-            &plan,
-            &net,
-            ServeConfig {
-                max_batch: 1,
-                ..ServeConfig::default()
-            },
-        )
-        .unwrap();
-        let mut batched = ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap();
+        let mut serial = ServeEngine::new(&plan, &net, config().with_max_batch(1)).unwrap();
+        let mut batched = ServeEngine::new(&plan, &net, config()).unwrap();
         for (i, xs) in seqs.iter().enumerate() {
             serial.submit(request(i as u64, xs, 0.0)).unwrap();
             batched.submit(request(i as u64, xs, 0.0)).unwrap();
@@ -361,15 +389,7 @@ mod tests {
     #[test]
     fn admission_is_deadline_first_then_fifo() {
         let (net, plan, seqs) = setup(3);
-        let mut engine = ServeEngine::new(
-            &plan,
-            &net,
-            ServeConfig {
-                max_batch: 2,
-                ..ServeConfig::default()
-            },
-        )
-        .unwrap();
+        let mut engine = ServeEngine::new(&plan, &net, config().with_max_batch(2)).unwrap();
         // Submission order 0..3; 2 has the tightest deadline, 3 the next.
         let deadlines = [None, None, Some(0.5), Some(0.9)];
         for (i, d) in deadlines.iter().enumerate() {
@@ -389,7 +409,7 @@ mod tests {
     #[test]
     fn late_arrivals_join_later_rounds() {
         let (net, plan, seqs) = setup(4);
-        let mut engine = ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap();
+        let mut engine = ServeEngine::new(&plan, &net, config()).unwrap();
         engine.submit(request(0, &seqs[0], 0.0)).unwrap();
         // Arrives long after round 0 finishes.
         engine.submit(request(1, &seqs[1], 1e9)).unwrap();
@@ -406,15 +426,7 @@ mod tests {
     #[test]
     fn queue_capacity_backpressure() {
         let (net, plan, seqs) = setup(5);
-        let mut engine = ServeEngine::new(
-            &plan,
-            &net,
-            ServeConfig {
-                queue_capacity: 2,
-                ..ServeConfig::default()
-            },
-        )
-        .unwrap();
+        let mut engine = ServeEngine::new(&plan, &net, config().with_queue_capacity(2)).unwrap();
         engine.submit(request(0, &seqs[0], 0.0)).unwrap();
         engine.submit(request(1, &seqs[1], 0.0)).unwrap();
         let err = engine.submit(request(2, &seqs[2], 0.0)).unwrap_err();
@@ -427,7 +439,7 @@ mod tests {
     #[test]
     fn submit_validates_sequences() {
         let (net, plan, seqs) = setup(6);
-        let mut engine = ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap();
+        let mut engine = ServeEngine::new(&plan, &net, config()).unwrap();
         assert_eq!(
             engine.submit(request(0, &[], 0.0)).unwrap_err(),
             Error::EmptyInput
@@ -447,9 +459,13 @@ mod tests {
         let (net, _, seqs) = setup(7);
         let mut rng = seeded_rng(8);
         let gru = lstm::gru_exec::GruNetwork::random(10, 20, 2, 3, &mut rng);
-        let plan = ExecutionPlan::compile_gru_baseline(&gru, seqs[0].len());
+        let plan = ExecutionPlan::compile_gru_baseline(
+            &gru,
+            seqs[0].len(),
+            &DeviceModel::default_preset(),
+        );
         assert_eq!(
-            ServeEngine::new(&plan, &net, ServeConfig::default()).unwrap_err(),
+            ServeEngine::new(&plan, &net, config()).unwrap_err(),
             Error::GruPlan
         );
     }
@@ -457,15 +473,7 @@ mod tests {
     #[test]
     fn rounds_report_batch_sizes_and_clock_advances() {
         let (net, plan, seqs) = setup(9);
-        let mut engine = ServeEngine::new(
-            &plan,
-            &net,
-            ServeConfig {
-                max_batch: 4,
-                ..ServeConfig::default()
-            },
-        )
-        .unwrap();
+        let mut engine = ServeEngine::new(&plan, &net, config().with_max_batch(4)).unwrap();
         for (i, xs) in seqs.iter().enumerate() {
             engine.submit(request(i as u64, xs, 0.0)).unwrap();
         }

@@ -14,7 +14,7 @@ use crate::mts::determine_mts;
 use crate::prediction::NetworkPredictors;
 use crate::relevance::RelevanceAnalyzer;
 use crate::tissue::schedule_tissues;
-use gpu_sim::{GpuConfig, GpuDevice, Profiler, SimReport};
+use gpu_sim::{DeviceModel, GpuDevice, Profiler, SimReport};
 use lstm::plan::NullSink;
 use lstm::{ExecutionPlan, PlanRuntime};
 use pool::Pool;
@@ -136,7 +136,7 @@ impl PerfSummary {
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     workload: Workload,
-    gpu: GpuConfig,
+    device: DeviceModel,
     predictors: NetworkPredictors,
     mts: usize,
     upper_inter: f64,
@@ -148,22 +148,26 @@ pub struct Evaluator {
 }
 
 impl Evaluator {
-    /// Runs the offline phase for `workload` on `gpu`.
+    /// Runs the offline phase for `workload` on `device`.
+    ///
+    /// The MTS sweep, every pricing pass, and the profiles all run on this
+    /// device; the numerics are device-independent, so only performance,
+    /// energy, and the offline MTS move between presets.
     ///
     /// Parallel sections (the offline probe fan-outs here, and later
     /// [`Evaluator::sweep`] / [`Evaluator::evaluate`]) use a
     /// [`Pool`] sized from `MEMLSTM_THREADS` / the machine; override it
     /// with [`Evaluator::with_pool`]. Results are bit-identical for any
     /// worker count — parallelism only changes wall-clock time.
-    pub fn new(workload: Workload, gpu: GpuConfig) -> Self {
+    pub fn new(workload: Workload, device: DeviceModel) -> Self {
         let pool = Pool::new();
-        let mts = determine_mts(&gpu, workload.network().config().hidden_size, 10).mts;
+        let mts = determine_mts(&device, workload.network().config().hidden_size, 10).mts;
         let predictors =
             NetworkPredictors::collect(workload.network(), workload.dataset().offline());
         let upper_inter = upper_alpha_inter_pooled(&workload, mts, pool);
         Self {
             workload,
-            gpu,
+            device,
             predictors,
             mts,
             upper_inter,
@@ -204,6 +208,11 @@ impl Evaluator {
     /// The Dynamic-Row-Skip realization evaluations use.
     pub fn drs_mode(&self) -> DrsMode {
         self.drs_mode
+    }
+
+    /// The device every pricing pass runs on.
+    pub fn device(&self) -> &DeviceModel {
+        &self.device
     }
 
     /// The offline-determined maximum tissue size.
@@ -256,14 +265,14 @@ impl Evaluator {
     pub fn baseline_perf(&self) -> PerfSummary {
         let net = self.workload.network();
         let seq_len = self.workload.eval_set()[0].len();
-        let plan = ExecutionPlan::compile_baseline(net, seq_len);
+        let plan = ExecutionPlan::compile_baseline(net, seq_len, &self.device);
         let mut runtime = PlanRuntime::new();
         let mut total = PerfSummary {
             time_s: 0.0,
             energy_j: 0.0,
             dram_bytes: 0,
         };
-        let mut device = GpuDevice::new(self.gpu.clone());
+        let mut device = GpuDevice::for_model(&self.device);
         for xs in self.workload.eval_set().iter().take(self.perf_seqs) {
             device.reset();
             let mut session = device.begin_trace();
@@ -290,7 +299,8 @@ impl Evaluator {
     /// the rest run through a null sink and contribute numbers only.
     pub fn evaluate(&self, config: OptimizerConfig) -> (PerfSummary, f64, OptRunStats) {
         let net = self.workload.network();
-        let exec = OptimizedExecutor::new(net, &self.predictors, config);
+        let exec =
+            OptimizedExecutor::new(net, &self.predictors, config).on_device(self.device.clone());
         let plan = exec.plan_probes(self.workload.dataset().offline());
         let n_acc = self.workload.eval_set().len().min(self.accuracy_seqs);
         // Each sequence streams through its own `PlanRuntime`; sequences
@@ -303,7 +313,7 @@ impl Evaluator {
             let xs = &self.workload.eval_set()[i];
             let mut runtime = PlanRuntime::new();
             if i < self.perf_seqs {
-                let mut device = GpuDevice::new(self.gpu.clone());
+                let mut device = GpuDevice::for_model(&self.device);
                 let mut session = device.begin_trace();
                 let output = runtime.run_lstm(&plan, net, xs, &mut session);
                 let report = session.finish();
@@ -346,10 +356,11 @@ impl Evaluator {
     /// path, so `report.time_s` equals the span-time sum bit-for-bit.
     pub fn profile(&self, config: OptimizerConfig) -> (SimReport, Profiler) {
         let net = self.workload.network();
-        let exec = OptimizedExecutor::new(net, &self.predictors, config);
+        let exec =
+            OptimizedExecutor::new(net, &self.predictors, config).on_device(self.device.clone());
         let plan = exec.plan_probes(self.workload.dataset().offline());
         let xs = &self.workload.eval_set()[0];
-        crate::exec::profile_plan(&plan, net, xs, &self.gpu)
+        crate::exec::profile_plan(&plan, net, xs, &self.device)
     }
 
     /// Profiles the baseline (Algorithm 1) execution of the first
@@ -357,8 +368,8 @@ impl Evaluator {
     pub fn profile_baseline(&self) -> (SimReport, Profiler) {
         let net = self.workload.network();
         let xs = &self.workload.eval_set()[0];
-        let plan = ExecutionPlan::compile_baseline(net, xs.len());
-        crate::exec::profile_plan(&plan, net, xs, &self.gpu)
+        let plan = ExecutionPlan::compile_baseline(net, xs.len(), &self.device);
+        crate::exec::profile_plan(&plan, net, xs, &self.device)
     }
 
     /// Full Fig. 19-style sweep over `count` threshold sets.
@@ -514,7 +525,7 @@ mod tests {
             .with_hidden_size(48)
             .with_seq_len(16);
         let wl = Workload::generate_scaled(Benchmark::Babi, &cfg, 4, 5);
-        Evaluator::new(wl, GpuConfig::tegra_x1()).with_budget(1, 3)
+        Evaluator::new(wl, DeviceModel::tegra_x1()).with_budget(1, 3)
     }
 
     #[test]

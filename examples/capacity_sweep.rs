@@ -8,7 +8,7 @@
 //! cargo run --release --example capacity_sweep
 //! ```
 
-use gpu_sim::GpuConfig;
+use gpu_sim::DeviceModel;
 use memlstm::thresholds::Evaluator;
 use workloads::{Benchmark, Workload};
 
@@ -36,7 +36,7 @@ fn main() {
 
 fn report(config: &lstm::ModelConfig, label: usize) {
     let workload = Workload::generate_scaled(Benchmark::Babi, config, 3, 5);
-    let evaluator = Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(1, 3);
+    let evaluator = Evaluator::new(workload, DeviceModel::tegra_x1()).with_budget(1, 3);
     let points = evaluator.sweep(7);
     let ao = memlstm::thresholds::select_ao(&points);
     println!(

@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gpu_sim::{GpuConfig, GpuDevice};
+use gpu_sim::{DeviceModel, GpuDevice};
 use lstm::BaselineExecutor;
 use memlstm::drs::{DrsConfig, DrsMode};
 use memlstm::exec::{OptimizedExecutor, OptimizerConfig};
@@ -23,18 +23,18 @@ fn main() {
 
     // 2. Offline phase: the maximum tissue size for this GPU (Fig. 9/10)
     //    and the predicted context link (Eq. 6).
-    let gpu = GpuConfig::tegra_x1();
-    let mts = determine_mts(&gpu, net.config().hidden_size, 10).mts;
+    let device = DeviceModel::tegra_x1();
+    let mts = determine_mts(&device, net.config().hidden_size, 10).mts;
     let predictors = NetworkPredictors::collect(net, workload.dataset().offline());
-    println!("offline: MTS = {mts} on {}", gpu.name);
+    println!("offline: MTS = {mts} on {}", device.config.name);
 
     // 3. Execute one sequence with the baseline (Algorithm 1) and with
     //    both optimization levels, pricing each on the simulated GPU.
     let xs = &workload.eval_set()[0];
-    let mut device = GpuDevice::new(gpu);
+    let mut gpu = GpuDevice::for_model(&device);
 
     let baseline = BaselineExecutor::new(net).run(xs);
-    let base = device.run_trace(baseline.trace());
+    let base = gpu.run_trace(baseline.trace());
 
     let config = OptimizerConfig::builder()
         .alpha_inter(1.0)
@@ -48,8 +48,8 @@ fn main() {
         })
         .build();
     let optimized = OptimizedExecutor::new(net, &predictors, config).run(xs);
-    device.reset();
-    let opt = device.run_trace(optimized.trace());
+    gpu.reset();
+    let opt = gpu.run_trace(optimized.trace());
 
     println!(
         "baseline : {:7.3} ms, {:6.1} mJ, {:6.1} MiB DRAM traffic",

@@ -7,7 +7,7 @@
 //! cargo run --release --example translator
 //! ```
 
-use gpu_sim::{GpuConfig, GpuDevice};
+use gpu_sim::{DeviceModel, GpuDevice};
 use lstm::BaselineExecutor;
 use memlstm::drs::{DrsConfig, DrsMode};
 use memlstm::exec::{OptimizedExecutor, OptimizerConfig};
@@ -20,8 +20,8 @@ fn main() {
     let net = workload.network();
     println!("translator model: {}\n", net.config());
 
-    let gpu = GpuConfig::tegra_x1();
-    let mts = determine_mts(&gpu, net.config().hidden_size, 10).mts;
+    let device_model = DeviceModel::tegra_x1();
+    let mts = determine_mts(&device_model, net.config().hidden_size, 10).mts;
     let predictors = NetworkPredictors::collect(net, workload.dataset().offline());
 
     let alpha_inter = 0.8;
@@ -57,7 +57,7 @@ fn main() {
         ),
     ];
 
-    let mut device = GpuDevice::new(gpu);
+    let mut device = GpuDevice::for_model(&device_model);
     let mut baseline_time = 0.0f64;
     let mut baseline_preds: Vec<usize> = Vec::new();
     println!("scheme      latency/sentence  energy/sentence  speedup  agreement");

@@ -10,7 +10,7 @@
 //! cargo run --release --example voice_assistant
 //! ```
 
-use gpu_sim::{GpuConfig, GpuDevice};
+use gpu_sim::{DeviceModel, GpuDevice};
 use lstm::BaselineExecutor;
 use memlstm::exec::OptimizedExecutor;
 use memlstm::prediction::NetworkPredictors;
@@ -29,7 +29,7 @@ fn main() {
 
     // Offline phase (shipped with the app): MTS, link predictors, and the
     // threshold-set table.
-    let evaluator = Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(1, 2);
+    let evaluator = Evaluator::new(workload, DeviceModel::tegra_x1()).with_budget(1, 2);
     let sets = threshold_sets(
         evaluator.upper_alpha_inter(),
         evaluator.upper_alpha_intra(),
@@ -42,7 +42,7 @@ fn main() {
 
     // Baseline latency for reference.
     let net = evaluator.workload().network();
-    let mut device = GpuDevice::new(GpuConfig::tegra_x1());
+    let mut device = GpuDevice::for_model(&DeviceModel::tegra_x1());
     let xs0 = &evaluator.workload().eval_set()[0];
     let base = device.run_trace(BaselineExecutor::new(net).run(xs0).trace());
     println!("baseline latency: {:.1} ms per query\n", base.time_s * 1e3);

@@ -6,7 +6,7 @@
 //! gpu-sim pricing, accuracy pooling, and the offline threshold search
 //! all meet.
 
-use gpu_sim::GpuConfig;
+use gpu_sim::DeviceModel;
 use memlstm::thresholds::{
     select_ao, select_bpa, threshold_sets, upper_alpha_inter_pooled, Evaluator,
 };
@@ -17,7 +17,7 @@ const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
 
 fn evaluator() -> Evaluator {
     let workload = Workload::generate(Benchmark::Mr, 4, 0x5EED);
-    Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(2, 4)
+    Evaluator::new(workload, DeviceModel::tegra_x1()).with_budget(2, 4)
 }
 
 /// `evaluate` fans eval sequences out across workers; timings, energies,
@@ -108,7 +108,7 @@ fn batched_execution_is_bit_identical_per_sequence_across_plans() {
     let plans: Vec<(&str, ExecutionPlan)> = vec![
         (
             "baseline",
-            ExecutionPlan::compile_baseline(net, seqs[0].len()),
+            ExecutionPlan::compile_baseline(net, seqs[0].len(), &DeviceModel::tegra_x1()),
         ),
         (
             "drs",
@@ -156,14 +156,11 @@ fn serving_with_join_leave_churn_is_bit_identical() {
     let workload = Workload::generate(Benchmark::Mr, 8, 0xC0DE);
     let net = workload.network();
     let seqs = workload.eval_set();
-    let plan = ExecutionPlan::compile_baseline(net, seqs[0].len());
+    let plan = ExecutionPlan::compile_baseline(net, seqs[0].len(), &DeviceModel::tegra_x1());
     let mut engine = ServeEngine::new(
         &plan,
         net,
-        ServeConfig {
-            max_batch: 3,
-            ..ServeConfig::default()
-        },
+        ServeConfig::new(DeviceModel::tegra_x1()).with_max_batch(3),
     )
     .unwrap();
     // Arrival spread forces gangs of 3, 3, 2, then stragglers alone:
@@ -217,15 +214,13 @@ fn serve_admission_orders_by_deadline_and_applies_backpressure() {
     let workload = Workload::generate(Benchmark::Mr, 4, 0xACED);
     let net = workload.network();
     let seqs = workload.eval_set();
-    let plan = ExecutionPlan::compile_baseline(net, seqs[0].len());
+    let plan = ExecutionPlan::compile_baseline(net, seqs[0].len(), &DeviceModel::tegra_x1());
     let mut engine = ServeEngine::new(
         &plan,
         net,
-        ServeConfig {
-            max_batch: 2,
-            queue_capacity: 4,
-            ..ServeConfig::default()
-        },
+        ServeConfig::new(DeviceModel::tegra_x1())
+            .with_max_batch(2)
+            .with_queue_capacity(4),
     )
     .unwrap();
     let request = |id: u64, deadline_s: Option<f64>| Request {

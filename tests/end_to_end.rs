@@ -2,7 +2,7 @@
 //! threshold selection, on a scaled-down benchmark so the suite stays
 //! fast on one core.
 
-use gpu_sim::GpuConfig;
+use gpu_sim::DeviceModel;
 use memlstm::thresholds::{select_ao, select_bpa, Evaluator};
 use workloads::{Benchmark, Workload};
 
@@ -12,7 +12,7 @@ fn small_evaluator() -> Evaluator {
         .with_hidden_size(96)
         .with_seq_len(24);
     let workload = Workload::generate_scaled(Benchmark::Babi, &config, 4, 9);
-    Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(1, 4)
+    Evaluator::new(workload, DeviceModel::tegra_x1()).with_budget(1, 4)
 }
 
 #[test]

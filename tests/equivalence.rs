@@ -149,7 +149,7 @@ mod plan_properties {
     //! variants.
 
     use super::*;
-    use gpu_sim::{GpuConfig, GpuDevice, KernelDesc};
+    use gpu_sim::{DeviceModel, GpuConfig, GpuDevice, KernelDesc};
     use lstm::{ExecutionPlan, GruBaselineExecutor, GruNetwork, PlanRuntime};
     use memlstm::GruDrsExecutor;
     use proptest::prelude::*;
@@ -237,7 +237,7 @@ mod plan_properties {
             let config = OptimizerConfig::builder().drs(DrsConfig { alpha_intra, mode }).build();
             let exec = OptimizedExecutor::new(&net, &predictors, config);
             let plan = exec.plan(&xs);
-            let base_plan = ExecutionPlan::compile_baseline(&net, xs.len());
+            let base_plan = ExecutionPlan::compile_baseline(&net, xs.len(), &DeviceModel::tegra_x1());
             let mut runtime = PlanRuntime::new();
             let mut rng = seeded_rng(seed.wrapping_add(1000));
             for _ in 0..3 {
@@ -271,7 +271,7 @@ mod plan_properties {
                 (0..6).map(|_| Vector::from_fn(12, |_| rng.gen_range(-1.0f32..1.0))).collect();
 
             let base_run = GruBaselineExecutor::new(&net).run(&xs);
-            let base_plan = ExecutionPlan::compile_gru_baseline(&net, xs.len());
+            let base_plan = ExecutionPlan::compile_gru_baseline(&net, xs.len(), &DeviceModel::tegra_x1());
             let mut runtime = PlanRuntime::new();
             let mut trace: Vec<KernelDesc> = Vec::new();
             let out = runtime.run_gru(&base_plan, &net, &xs, &mut trace);

@@ -1,7 +1,7 @@
 //! Integration checks of the paper's qualitative claims, each tied to the
 //! section/figure it reproduces.
 
-use gpu_sim::{GpuConfig, GpuDevice, KernelKind};
+use gpu_sim::{DeviceModel, GpuConfig, GpuDevice, KernelKind};
 use lstm::BaselineExecutor;
 use memlstm::drs::{DrsConfig, DrsMode};
 use memlstm::exec::{OptimizedExecutor, OptimizerConfig};
@@ -59,7 +59,7 @@ fn sec3_weight_matrix_reloads_scale_with_layer_length() {
 #[test]
 fn fig9_mts_is_paper_range_on_tegra() {
     for hidden in [256, 512, 650] {
-        let mts = determine_mts(&GpuConfig::tegra_x1(), hidden, 10).mts;
+        let mts = determine_mts(&DeviceModel::tegra_x1(), hidden, 10).mts;
         assert!((4..=7).contains(&mts), "hidden {hidden}: MTS {mts}");
     }
 }
@@ -158,7 +158,7 @@ fn overheads_stay_in_the_few_percent_band() {
         })
         .build();
     let run = OptimizedExecutor::new(net, &predictors, config).run(&workload.eval_set()[0]);
-    let gpu = GpuConfig::tegra_x1();
+    let gpu = DeviceModel::tegra_x1();
     let inter = memlstm::overhead::inter_overhead(&run, &gpu);
     let intra = memlstm::overhead::intra_overhead(&run, &gpu);
     let crm = memlstm::overhead::crm_overhead(&run, &gpu);

@@ -3,7 +3,7 @@
 //! must sum to the report total bit-for-bit, exported Chrome traces must
 //! validate, and plan-phase tags must be attributable.
 
-use gpu_sim::{validate_chrome_trace, GpuConfig, GpuDevice, Phase};
+use gpu_sim::{validate_chrome_trace, DeviceModel, GpuDevice, Phase};
 use lstm::{ExecutionPlan, PlanRuntime};
 use memlstm::exec::profile_plan;
 use memlstm::thresholds::{threshold_sets, Evaluator};
@@ -11,7 +11,7 @@ use workloads::{Benchmark, Workload};
 
 fn evaluator() -> Evaluator {
     let workload = Workload::generate(Benchmark::Mr, 4, 0x5EED);
-    Evaluator::new(workload, GpuConfig::tegra_x1()).with_budget(2, 4)
+    Evaluator::new(workload, DeviceModel::tegra_x1()).with_budget(2, 4)
 }
 
 /// Profiling the baseline plan must not change a single bit of the
@@ -21,10 +21,10 @@ fn profiling_is_observation_only() {
     let workload = Workload::generate(Benchmark::Mr, 4, 0x5EED);
     let net = workload.network();
     let xs = &workload.eval_set()[0];
-    let plan = ExecutionPlan::compile_baseline(net, xs.len());
-    let gpu = GpuConfig::tegra_x1();
+    let plan = ExecutionPlan::compile_baseline(net, xs.len(), &DeviceModel::tegra_x1());
+    let gpu = DeviceModel::tegra_x1();
 
-    let mut device = GpuDevice::new(gpu.clone());
+    let mut device = GpuDevice::for_model(&gpu);
     let mut session = device.begin_trace();
     PlanRuntime::new().run_lstm(&plan, net, xs, &mut session);
     let plain = session.finish();
