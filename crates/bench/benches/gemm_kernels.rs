@@ -15,11 +15,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tensor::gemm::{sgemv, sgemv_masked, sgemv_masked_reference};
-use tensor::{Matrix, PackedMatrix, Vector};
+use tensor::{FusedGates, Matrix, PackedMatrix, Vector};
 
 /// `(rows, cols)` of the dense comparisons: recurrent `H x H` blocks at
 /// the paper's hidden sizes plus the stacked `4H x H` gate projection.
 const DENSE_SHAPES: [(usize, usize); 4] = [(128, 128), (256, 256), (512, 256), (1024, 256)];
+
+/// Hidden sizes of the fused 4-gate comparison (`U_{f,i,c,o}` at `H x H`
+/// each, applied to one `h_{t-1}`).
+const FUSED_HIDDEN: [usize; 3] = [128, 256, 512];
 
 /// Fraction of rows the skip list removes (Fig. 14's AO band and beyond).
 const SKIP_RATIOS: [f64; 3] = [0.25, 0.50, 0.75];
@@ -67,6 +71,60 @@ fn bench_dense(c: &mut Criterion) {
     group.finish();
 }
 
+/// The four `H x H` gate matrices of one fused comparison, plus their
+/// individually packed forms and the fused slab. Both sides use the same
+/// packed panel micro-kernel and write into caller-owned buffers: the
+/// fused win is one pass over `h` and panel-pair ILP, not allocation.
+fn fused_setup(h: usize) -> (FusedGates, Vec<PackedMatrix>, Vector) {
+    let mats: Vec<Matrix> = (0..4)
+        .map(|g| {
+            Matrix::from_fn(h, h, |r, c| {
+                ((r * 31 + c * 7 + g * 5) % 13) as f32 * 0.083 - 0.5
+            })
+        })
+        .collect();
+    let refs: Vec<&Matrix> = mats.iter().collect();
+    let fused = FusedGates::pack(&refs);
+    let singles: Vec<PackedMatrix> = mats.iter().map(PackedMatrix::pack).collect();
+    (fused, singles, test_vector(h))
+}
+
+fn bench_fused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgemv_fused_gates");
+    group.sample_size(20);
+    for &h in &FUSED_HIDDEN {
+        let (fused, singles, x) = fused_setup(h);
+        let mut slab = vec![0.0f32; 4 * h];
+        let mut unfused = vec![0.0f32; 4 * h];
+        // The fused slab's sections must agree bitwise with the per-gate
+        // launches before we time either side.
+        fused.gemv_into(x.as_slice(), &mut slab);
+        for (g, p) in singles.iter().enumerate() {
+            p.gemv_into(x.as_slice(), &mut unfused[g * h..(g + 1) * h]);
+        }
+        assert_eq!(slab, unfused);
+        group.bench_with_input(
+            BenchmarkId::new("per_gate", format!("H{h}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    for (g, p) in singles.iter().enumerate() {
+                        p.gemv_into(x.as_slice(), &mut unfused[g * h..(g + 1) * h]);
+                    }
+                    black_box(&mut unfused);
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("fused", format!("H{h}")), &(), |b, _| {
+            b.iter(|| {
+                fused.gemv_into(x.as_slice(), &mut slab);
+                black_box(&mut slab);
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_masked(c: &mut Criterion) {
     let (rows, cols) = MASKED_SHAPE;
     let a = test_matrix(rows, cols);
@@ -95,6 +153,7 @@ fn bench_masked(c: &mut Criterion) {
 
 fn bench_gemm_kernels(c: &mut Criterion) {
     bench_dense(c);
+    bench_fused(c);
     bench_masked(c);
     if c.is_measuring() {
         emit_json();
@@ -138,6 +197,29 @@ fn emit_json() {
             naive_s / packed_s
         ));
     }
+    let mut fused_rows = Vec::new();
+    for &h in &FUSED_HIDDEN {
+        let (fused, singles, x) = fused_setup(h);
+        // `median_s` takes `Fn`, so the output slabs live in cells.
+        let slab = std::cell::RefCell::new(vec![0.0f32; 4 * h]);
+        let per_gate_s = median_s(REPS, ITERS, &|| {
+            let mut slab = slab.borrow_mut();
+            for (g, p) in singles.iter().enumerate() {
+                p.gemv_into(x.as_slice(), &mut slab[g * h..(g + 1) * h]);
+            }
+            black_box(&mut *slab);
+        });
+        let fused_s = median_s(REPS, ITERS, &|| {
+            let mut slab = slab.borrow_mut();
+            fused.gemv_into(x.as_slice(), &mut slab);
+            black_box(&mut *slab);
+        });
+        fused_rows.push(format!(
+            "    {{\"hidden\": {h}, \"gates\": 4, \"per_gate_s\": {per_gate_s:.9}, \
+             \"fused_s\": {fused_s:.9}, \"speedup\": {:.3}}}",
+            per_gate_s / fused_s
+        ));
+    }
     let (rows, cols) = MASKED_SHAPE;
     let a = test_matrix(rows, cols);
     let x = test_vector(cols);
@@ -159,8 +241,9 @@ fn emit_json() {
     }
     let json = format!(
         "{{\n  \"benchmark\": \"gemm_kernels\",\n  \"dense_sgemv\": [\n{}\n  ],\n  \
-         \"masked_sgemv\": [\n{}\n  ]\n}}\n",
+         \"fused_gates\": [\n{}\n  ],\n  \"masked_sgemv\": [\n{}\n  ]\n}}\n",
         dense.join(",\n"),
+        fused_rows.join(",\n"),
         masked.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");

@@ -284,6 +284,15 @@ impl ReloadTracker {
             .filter_map(|r| self.reload_factor(*r))
             .fold(0.0, f64::max)
     }
+
+    /// Forgets every declaration and miss count while keeping the map
+    /// allocations, so a device `reset()` in a steady-state serving loop
+    /// stays off the heap. Equivalent to replacing the tracker with a
+    /// fresh one.
+    pub fn clear(&mut self) {
+        self.sizes.clear();
+        self.loaded.clear();
+    }
 }
 
 #[cfg(test)]

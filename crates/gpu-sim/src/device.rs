@@ -66,13 +66,24 @@ impl GpuDevice {
     }
 
     /// Clears cache and reload state (use between independent runs).
+    /// In-place: the cache and tracker keep their heap buffers, so a
+    /// serving loop can reset its persistent device every round without
+    /// allocating.
     pub fn reset(&mut self) {
         self.l2.clear();
-        self.reload = ReloadTracker::new();
+        self.reload.clear();
     }
 
     /// Simulates one kernel launch, updating cache state.
     pub fn launch(&mut self, desc: &KernelDesc) -> KernelReport {
+        self.launch_labeled(desc, desc.label.clone())
+    }
+
+    /// [`launch`](Self::launch) with the report label supplied by the
+    /// caller, so label-indifferent paths (incremental pricing without a
+    /// profiler) can pass an empty `String` and keep the hot loop off
+    /// the heap. Identical pricing either way.
+    pub(crate) fn launch_labeled(&mut self, desc: &KernelDesc, label: String) -> KernelReport {
         let mut hit_bytes = 0u64;
         let mut miss_bytes = 0u64;
         for access in &desc.reads {
@@ -97,7 +108,7 @@ impl GpuDevice {
         // `exec_s + overhead_s` reproduce report totals bit-for-bit.
         let overhead_s = timing.overhead_s + crm_s;
         KernelReport {
-            label: desc.label.clone(),
+            label,
             kind: desc.kind,
             time_s: timing.exec_s + overhead_s,
             exec_s: timing.exec_s,
@@ -112,6 +123,7 @@ impl GpuDevice {
             reconfigured: timing.reconfigured,
             crm_s,
             components_s: timing.components_s,
+            fused: desc.fused,
         }
     }
 
@@ -162,8 +174,18 @@ pub struct TraceSession<'d> {
 
 impl TraceSession<'_> {
     /// Prices one kernel launch and folds it into the running aggregate.
+    ///
+    /// The returned report's `label` is populated only while a profiler
+    /// is attached (it exists for span display); pricing and aggregation
+    /// never read it, and skipping the copy keeps steady-state pricing
+    /// allocation-free.
     pub fn price_kernel(&mut self, desc: &KernelDesc) -> KernelReport {
-        let k = self.device.launch(desc);
+        let label = if self.profiler.is_some() {
+            desc.label.clone()
+        } else {
+            String::new()
+        };
+        let k = self.device.launch_labeled(desc, label);
         if desc.uses_crm {
             self.crm_energy_frac_time += k.time_s;
         }

@@ -87,6 +87,12 @@ pub struct KernelDesc {
     /// zero-pruning baseline [31] — break coalescing and row-buffer
     /// locality and achieve only a fraction of streaming bandwidth.
     pub dram_derate: f64,
+    /// How many logical gate launches this single launch fuses (Appleyard
+    /// et al.'s concatenated-gate GEMM): `4` for an LSTM `U_fico`/`W` slab,
+    /// `3` for a GRU `U_rzh` slab or a masked `U_fic` launch, `1` for an
+    /// ordinary kernel. Purely descriptive — the cost model already prices
+    /// the fused shape — but traces and kernel-count audits report it.
+    pub fused: u32,
 }
 
 impl KernelDesc {
@@ -106,8 +112,28 @@ impl KernelDesc {
                 skipped_threads: 0,
                 uses_crm: false,
                 dram_derate: 1.0,
+                fused: 1,
             },
         }
+    }
+
+    /// Field-wise `clone_from`: overwrites `self` with `src` while reusing
+    /// the label and access-list heap buffers — the zero-allocation way
+    /// for steady-state loops to refresh a scratch descriptor.
+    pub fn copy_from(&mut self, src: &KernelDesc) {
+        self.label.clone_from(&src.label);
+        self.kind = src.kind;
+        self.flops = src.flops;
+        self.reads.clone_from(&src.reads);
+        self.writes.clone_from(&src.writes);
+        self.smem_bytes = src.smem_bytes;
+        self.threads = src.threads;
+        self.cta_size = src.cta_size;
+        self.divergence = src.divergence;
+        self.skipped_threads = src.skipped_threads;
+        self.uses_crm = src.uses_crm;
+        self.dram_derate = src.dram_derate;
+        self.fused = src.fused;
     }
 
     /// Total bytes requested from global memory (before the cache).
@@ -193,6 +219,13 @@ impl KernelBuilder {
         self
     }
 
+    /// Declares this launch as the fusion of `gates` logical gate
+    /// launches (clamped to `>= 1`).
+    pub fn fused(mut self, gates: u32) -> Self {
+        self.desc.fused = gates.max(1);
+        self
+    }
+
     /// Finishes the descriptor.
     pub fn build(self) -> KernelDesc {
         self.desc
@@ -264,6 +297,36 @@ mod tests {
         assert_eq!(k.dram_derate, 0.5);
         let k = KernelDesc::builder("x", KernelKind::Other).build();
         assert_eq!(k.dram_derate, 1.0);
+    }
+
+    #[test]
+    fn fused_defaults_to_one_and_clamps() {
+        let k = KernelDesc::builder("x", KernelKind::Sgemv).build();
+        assert_eq!(k.fused, 1);
+        let k = KernelDesc::builder("x", KernelKind::Sgemv).fused(4).build();
+        assert_eq!(k.fused, 4);
+        let k = KernelDesc::builder("x", KernelKind::Sgemv).fused(0).build();
+        assert_eq!(k.fused, 1);
+    }
+
+    #[test]
+    fn copy_from_is_value_equal_to_clone() {
+        let src = KernelDesc::builder("Sgemv(U_fico,h)", KernelKind::Sgemv)
+            .flops(1234)
+            .read(RegionId::new(3), 512)
+            .write(RegionId::new(4), 64)
+            .smem(100)
+            .threads(96, 32)
+            .divergence(1.25)
+            .skips(7, true)
+            .dram_derate(0.4)
+            .fused(4)
+            .build();
+        let mut dst = KernelDesc::builder("other", KernelKind::Other)
+            .read(RegionId::new(9), 1)
+            .build();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

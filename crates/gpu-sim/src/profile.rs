@@ -196,6 +196,8 @@ pub struct KernelSpan {
     pub smem_bytes: u64,
     /// FLOPs executed.
     pub flops: u64,
+    /// Logical gate launches fused into this one (`1` for plain kernels).
+    pub fused: u32,
 }
 
 impl KernelSpan {
@@ -313,6 +315,7 @@ impl Profiler {
             l2_hit_bytes: k.l2_hit_bytes,
             smem_bytes: k.smem_bytes,
             flops: k.flops,
+            fused: k.fused,
         };
         self.clock_s += k.time_s;
         self.spans.push(span);
@@ -501,6 +504,9 @@ impl Profiler {
                 ("smem_bytes", ArgValue::Int(span.smem_bytes as i64)),
                 ("flops", ArgValue::Int(span.flops as i64)),
             ];
+            if span.fused > 1 {
+                args.push(("fused_gates", ArgValue::Int(i64::from(span.fused))));
+            }
             if let Some(t) = span.tag.tissue {
                 args.push(("tissue", ArgValue::Int(i64::from(t))));
             }
@@ -991,6 +997,7 @@ mod tests {
             reconfigured: false,
             crm_s: 0.0,
             components_s: (time * 0.1, time * 0.9, time * 0.05),
+            fused: 1,
         }
     }
 

@@ -97,6 +97,9 @@ pub struct KernelReport {
     /// Bound-resource component times `(compute, dram, smem)` in seconds,
     /// as computed by the timing model before taking the max.
     pub components_s: (f64, f64, f64),
+    /// Logical gate launches fused into this one (from
+    /// [`KernelDesc::fused`](crate::KernelDesc)); `1` for plain kernels.
+    pub fused: u32,
 }
 
 /// Per-kernel-kind aggregate statistics.
@@ -285,6 +288,7 @@ mod tests {
             reconfigured: false,
             crm_s: 0.0,
             components_s: (0.0, time, 0.0),
+            fused: 1,
         }
     }
 

@@ -18,19 +18,33 @@
 //! stream: one batched kernel per planned kernel, priced by
 //! [`batch_kernel`] with amortized weight traffic.
 
-use crate::cell::GatePreacts;
-use crate::drs::{skip_fraction, trivial_row_mask};
+use crate::cell::{CellWeights, GatePreacts};
+use crate::drs::{skip_fraction, trivial_row_mask_into};
 use crate::network::LstmNetwork;
 use crate::plan::{
     ExecutionPlan, KernelSink, LayerBody, PlanBody, PlanOutput, PrevSource, SkipStats,
     TissueKernels,
 };
 use crate::regions::NetworkRegions;
+use crate::workspace::Workspace;
 use gpu_sim::{KernelDesc, KernelKind, SpanTag};
+use std::fmt::Write as _;
+use std::mem;
 use tensor::Vector;
 
 /// Derives the batched form of a planned kernel serving `batch`
 /// concurrent sequences.
+///
+/// Allocating convenience wrapper over [`batch_kernel_into`].
+pub fn batch_kernel(desc: &KernelDesc, batch: usize, regions: &NetworkRegions) -> KernelDesc {
+    let mut out = KernelDesc::builder(String::new(), KernelKind::Other).build();
+    batch_kernel_into(desc, batch, regions, &mut out);
+    out
+}
+
+/// Writes the batched form of a planned kernel into a recycled
+/// descriptor — the zero-allocation form for steady-state serving loops
+/// (the label and access-list buffers of `out` are reused).
 ///
 /// Compute, transient traffic, and thread counts scale with the batch;
 /// reads of persistent weight regions (per [`NetworkRegions::is_weight`])
@@ -39,39 +53,44 @@ use tensor::Vector;
 /// scales only in its non-weight part for the same reason, and a batched
 /// `Sgemv` becomes an `Sgemm`.
 ///
-/// `batch <= 1` returns the kernel unchanged, so a batch of one prices
+/// `batch <= 1` copies the kernel unchanged, so a batch of one prices
 /// bit-identically to serial execution.
-pub fn batch_kernel(desc: &KernelDesc, batch: usize, regions: &NetworkRegions) -> KernelDesc {
-    let mut k = desc.clone();
+pub fn batch_kernel_into(
+    desc: &KernelDesc,
+    batch: usize,
+    regions: &NetworkRegions,
+    out: &mut KernelDesc,
+) {
+    out.copy_from(desc);
     if batch <= 1 {
-        return k;
+        return;
     }
     let b = batch as u64;
     let mut weight_bytes = 0u64;
-    for r in &mut k.reads {
+    for r in &mut out.reads {
         if regions.is_weight(r.region) {
             weight_bytes += r.bytes;
         } else {
             r.bytes *= b;
         }
     }
-    for w in &mut k.writes {
+    for w in &mut out.writes {
         w.bytes *= b;
     }
-    k.flops *= b;
-    k.smem_bytes = weight_bytes + b * k.smem_bytes.saturating_sub(weight_bytes);
-    k.threads = u32::try_from(u64::from(k.threads) * b).unwrap_or(u32::MAX);
-    k.skipped_threads = u32::try_from(u64::from(k.skipped_threads) * b).unwrap_or(u32::MAX);
-    if k.kind == KernelKind::Sgemv {
-        k.kind = KernelKind::Sgemm;
+    out.flops *= b;
+    out.smem_bytes = weight_bytes + b * out.smem_bytes.saturating_sub(weight_bytes);
+    out.threads = u32::try_from(u64::from(out.threads) * b).unwrap_or(u32::MAX);
+    out.skipped_threads = u32::try_from(u64::from(out.skipped_threads) * b).unwrap_or(u32::MAX);
+    if out.kind == KernelKind::Sgemv {
+        out.kind = KernelKind::Sgemm;
     }
-    k.label = batched_label(&k.label, batch);
-    k
+    push_batch_suffix(&mut out.label, batch);
 }
 
-/// Appends the batch-size suffix the serve traces use (`"... xB4"`).
-fn batched_label(label: &str, batch: usize) -> String {
-    format!("{label} xB{batch}")
+/// Appends the batch-size suffix the serve traces use (`"... xB4"`) in
+/// place.
+fn push_batch_suffix(label: &mut String, batch: usize) {
+    let _ = write!(label, " xB{batch}");
 }
 
 /// Tags a span with the batch size when there is an actual batch.
@@ -83,14 +102,40 @@ fn tag_b(tag: SpanTag, batch: usize) -> SpanTag {
     }
 }
 
+/// The batched runtime's shared (cross-sequence) recycled scratch: the
+/// concatenated mask list a batched masked kernel prices over and the
+/// descriptors the batched kernels are written into.
+#[derive(Debug)]
+struct SharedScratch {
+    all_masks: Vec<Vec<bool>>,
+    union_mask: Vec<bool>,
+    masked_desc: KernelDesc,
+    batched: KernelDesc,
+}
+
+impl Default for SharedScratch {
+    fn default() -> Self {
+        Self {
+            all_masks: Vec::new(),
+            union_mask: Vec::new(),
+            masked_desc: KernelDesc::builder(String::new(), KernelKind::Other).build(),
+            batched: KernelDesc::builder(String::new(), KernelKind::Other).build(),
+        }
+    }
+}
+
 /// Executes [`ExecutionPlan`]s over a batch of sequences in lockstep.
 ///
 /// Like [`PlanRuntime`](crate::plan::PlanRuntime) it owns its transient
-/// per-timestep state and reuses the buffers across executions.
+/// state — one [`Workspace`] per sequence plus the shared batched-kernel
+/// scratch — and reuses every buffer across executions, so a warm
+/// serving loop performs zero heap allocations per steady-state
+/// timestep.
 #[derive(Debug, Default)]
 pub struct BatchRuntime {
-    h_slots: Vec<Vec<Option<Vector>>>,
-    c_slots: Vec<Vec<Option<Vector>>>,
+    wx: Vec<Vec<GatePreacts>>,
+    ws: Vec<Workspace>,
+    shared: SharedScratch,
 }
 
 impl BatchRuntime {
@@ -102,8 +147,8 @@ impl BatchRuntime {
     /// Executes an LSTM plan on every sequence of `seqs` in lockstep,
     /// streaming one *batched* kernel per planned kernel into `sink`.
     ///
-    /// Output `i` is bit-identical to
-    /// `PlanRuntime::run_lstm(plan, net, &seqs[i], ..)`.
+    /// Allocating convenience wrapper over
+    /// [`run_lstm_batch_into`](Self::run_lstm_batch_into).
     ///
     /// # Panics
     /// Panics if `seqs` is empty, if any sequence is empty or differs
@@ -116,6 +161,25 @@ impl BatchRuntime {
         seqs: &[Vec<Vector>],
         sink: &mut impl KernelSink,
     ) -> Vec<PlanOutput> {
+        let mut outs = Vec::new();
+        self.run_lstm_batch_into(plan, net, seqs, sink, &mut outs);
+        outs
+    }
+
+    /// [`run_lstm_batch`](Self::run_lstm_batch) into a recycled output
+    /// vector (resized to the batch, buffers reused). Output `i` is
+    /// bit-identical to `PlanRuntime::run_lstm(plan, net, &seqs[i], ..)`.
+    ///
+    /// # Panics
+    /// As [`run_lstm_batch`](Self::run_lstm_batch).
+    pub fn run_lstm_batch_into(
+        &mut self,
+        plan: &ExecutionPlan,
+        net: &LstmNetwork,
+        seqs: &[Vec<Vector>],
+        sink: &mut impl KernelSink,
+        outs: &mut Vec<PlanOutput>,
+    ) {
         assert!(
             !seqs.is_empty(),
             "BatchRuntime::run_lstm_batch: empty batch"
@@ -143,53 +207,76 @@ impl BatchRuntime {
         );
         let b = seqs.len();
 
-        let mut layer_hs: Vec<Vec<Vec<Vector>>> = vec![Vec::with_capacity(layer_plans.len()); b];
-        let mut layer_skips: Vec<Vec<SkipStats>> = vec![Vec::with_capacity(layer_plans.len()); b];
-        let mut currents: Vec<Vec<Vector>> = seqs.to_vec();
+        let Self { wx, ws, shared } = self;
+        outs.resize_with(b, PlanOutput::new);
+        wx.resize_with(b, Vec::new);
+        ws.resize_with(b, Workspace::new);
+        for out in outs.iter_mut() {
+            out.layer_hs.resize_with(layer_plans.len(), Vec::new);
+            out.layer_skips.clear();
+            out.layer_skips
+                .resize(layer_plans.len(), SkipStats::default());
+        }
         for (l, (lp, layer)) in layer_plans.iter().zip(net.layers()).enumerate() {
             sink.begin_layer(l);
             sink.tag(tag_b(SpanTag::wx(l), b));
-            sink.emit(batch_kernel(&lp.wx, b, &plan.regions));
-            let wx: Vec<Vec<GatePreacts>> = currents
-                .iter()
-                .map(|cur| layer.precompute_wx(cur))
-                .collect();
-            let mut skips = vec![SkipStats::default(); b];
-            let hs =
-                self.execute_lstm_body(l, &lp.body, layer, &wx, &plan.regions, sink, &mut skips);
-            for (s, hs_s) in hs.iter().enumerate() {
-                currents[s] = hs_s.clone();
-                layer_hs[s].push(hs_s.clone());
-                layer_skips[s].push(skips[s]);
+            batch_kernel_into(&lp.wx, b, &plan.regions, &mut shared.batched);
+            sink.emit(&shared.batched);
+            for s in 0..b {
+                let current: &[Vector] = if l == 0 {
+                    &seqs[s]
+                } else {
+                    &outs[s].layer_hs[l - 1]
+                };
+                layer
+                    .weights()
+                    .precompute_wx_batch_into(current, &mut wx[s]);
             }
+            Self::execute_lstm_body_into(
+                l,
+                &lp.body,
+                layer.weights(),
+                wx,
+                &plan.regions,
+                ws,
+                shared,
+                sink,
+                outs,
+            );
         }
         sink.begin_tail();
         sink.tag(tag_b(SpanTag::head(), b));
-        sink.emit(batch_kernel(&plan.head, b, &plan.regions));
-        (0..b)
-            .map(|s| PlanOutput {
-                layer_hs: layer_hs[s].clone(),
-                logits: net.apply_head(currents[s].last().expect("non-empty sequence")),
-                layer_skips: layer_skips[s].clone(),
-            })
-            .collect()
+        batch_kernel_into(&plan.head, b, &plan.regions, &mut shared.batched);
+        sink.emit(&shared.batched);
+        for out in outs.iter_mut() {
+            let h_final = out
+                .layer_hs
+                .last()
+                .and_then(|hs| hs.last())
+                .expect("non-empty sequence");
+            net.apply_head_into(h_final, &mut out.logits);
+        }
     }
 
     /// Executes one layer body for every sequence, emitting batched
     /// kernels. Per-sequence arithmetic mirrors
-    /// `PlanRuntime::execute_lstm_body` call for call.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_lstm_body(
-        &mut self,
+    /// `PlanRuntime::execute_lstm_body_into` call for call — sequences
+    /// are independent, so the interchanged loops produce bit-identical
+    /// per-sequence values. Hidden outputs land in
+    /// `outs[s].layer_hs[layer]`, skip statistics in
+    /// `outs[s].layer_skips[layer]`.
+    #[allow(clippy::too_many_arguments)] // internal: the runtime split needs each piece
+    fn execute_lstm_body_into(
         layer: usize,
         body: &LayerBody,
-        net_layer: &crate::layer::LstmLayer,
+        weights: &CellWeights,
         wx: &[Vec<GatePreacts>],
         regions: &NetworkRegions,
+        ws: &mut [Workspace],
+        shared: &mut SharedScratch,
         sink: &mut impl KernelSink,
-        skips: &mut [SkipStats],
-    ) -> Vec<Vec<Vector>> {
-        let weights = net_layer.weights();
+        outs: &mut [PlanOutput],
+    ) {
         let hidden = weights.hidden();
         let b = wx.len();
         match body {
@@ -197,59 +284,88 @@ impl BatchRuntime {
                 for wx_s in wx {
                     assert_eq!(cells.len(), wx_s.len(), "plan/input length mismatch");
                 }
-                let mut h = vec![Vector::zeros(hidden); b];
-                let mut c = vec![Vector::zeros(hidden); b];
-                let mut hs = vec![Vec::with_capacity(cells.len()); b];
+                for s in 0..b {
+                    ws[s].h.resize_fill(hidden, 0.0);
+                    ws[s].c.resize_fill(hidden, 0.0);
+                    outs[s].layer_hs[layer].resize_with(cells.len(), || Vector::zeros(0));
+                }
                 for (t, cell) in cells.iter().enumerate() {
                     sink.tag(tag_b(SpanTag::cells(layer, t), b));
-                    sink.emit(batch_kernel(&cell.sgemv, b, regions));
+                    batch_kernel_into(&cell.sgemv, b, regions, &mut shared.batched);
+                    sink.emit(&shared.batched);
                     for s in 0..b {
-                        let (h_next, c_next) = weights.step(&wx[s][t], &h[s], &c[s]);
-                        h[s] = h_next;
-                        c[s] = c_next;
-                        hs[s].push(h[s].clone());
+                        let w = &mut ws[s];
+                        weights.step_fused_into(
+                            &wx[s][t],
+                            &w.h,
+                            &w.c,
+                            &mut w.cell,
+                            &mut w.h_next,
+                            &mut w.c_next,
+                        );
+                        mem::swap(&mut w.h, &mut w.h_next);
+                        mem::swap(&mut w.c, &mut w.c_next);
+                        outs[s].layer_hs[layer][t].clone_from(&w.h);
                     }
-                    sink.emit(batch_kernel(&cell.ew, b, regions));
+                    batch_kernel_into(&cell.ew, b, regions, &mut shared.batched);
+                    sink.emit(&shared.batched);
                 }
-                hs
             }
             LayerBody::Drs { alpha_intra, cells } => {
                 for wx_s in wx {
                     assert_eq!(cells.len(), wx_s.len(), "plan/input length mismatch");
                 }
-                let mut h = vec![Vector::zeros(hidden); b];
-                let mut c = vec![Vector::zeros(hidden); b];
-                let mut hs = vec![Vec::with_capacity(cells.len()); b];
+                for s in 0..b {
+                    ws[s].h.resize_fill(hidden, 0.0);
+                    ws[s].c.resize_fill(hidden, 0.0);
+                    outs[s].layer_hs[layer].resize_with(cells.len(), || Vector::zeros(0));
+                }
                 for (t, cell) in cells.iter().enumerate() {
                     sink.tag(tag_b(SpanTag::cells(layer, t), b));
-                    sink.emit(batch_kernel(&cell.uo, b, regions));
-                    sink.emit(batch_kernel(&cell.gate_ew, b, regions));
-                    let os: Vec<Vector> = (0..b)
-                        .map(|s| weights.output_gate(&wx[s][t].o, &h[s]))
-                        .collect();
-                    sink.emit(batch_kernel(&cell.select, b, regions));
-                    let masks: Vec<Vec<bool>> = os
-                        .iter()
-                        .map(|o| trivial_row_mask(o, *alpha_intra))
-                        .collect();
-                    for (s, mask) in masks.iter().enumerate() {
-                        skips[s].push(skip_fraction(mask));
-                    }
-                    let mut masked = cell.masked.instantiate_batch(&masks, b);
-                    if b > 1 {
-                        masked.label = batched_label(&masked.label, b);
-                    }
-                    sink.emit(masked);
-                    sink.emit(batch_kernel(&cell.ew, b, regions));
+                    batch_kernel_into(&cell.uo, b, regions, &mut shared.batched);
+                    sink.emit(&shared.batched);
+                    batch_kernel_into(&cell.gate_ew, b, regions, &mut shared.batched);
+                    sink.emit(&shared.batched);
                     for s in 0..b {
-                        let (h_next, c_next) =
-                            weights.step_masked(&wx[s][t], &h[s], &c[s], &os[s], &masks[s]);
-                        h[s] = h_next;
-                        c[s] = c_next;
-                        hs[s].push(h[s].clone());
+                        let w = &mut ws[s];
+                        weights.output_gate_into(&wx[s][t].o, &w.h, &mut w.cell, &mut w.gate);
+                    }
+                    batch_kernel_into(&cell.select, b, regions, &mut shared.batched);
+                    sink.emit(&shared.batched);
+                    shared.all_masks.resize_with(b, Vec::new);
+                    for s in 0..b {
+                        trivial_row_mask_into(&ws[s].gate, *alpha_intra, &mut shared.all_masks[s]);
+                        outs[s].layer_skips[layer].push(skip_fraction(&shared.all_masks[s]));
+                    }
+                    cell.masked.instantiate_batch_into(
+                        &shared.all_masks,
+                        b,
+                        &mut shared.union_mask,
+                        &mut shared.masked_desc,
+                    );
+                    if b > 1 {
+                        push_batch_suffix(&mut shared.masked_desc.label, b);
+                    }
+                    sink.emit(&shared.masked_desc);
+                    batch_kernel_into(&cell.ew, b, regions, &mut shared.batched);
+                    sink.emit(&shared.batched);
+                    for s in 0..b {
+                        let w = &mut ws[s];
+                        weights.step_masked_into(
+                            &wx[s][t],
+                            &w.h,
+                            &w.c,
+                            &w.gate,
+                            &shared.all_masks[s],
+                            &mut w.cell,
+                            &mut w.h_next,
+                            &mut w.c_next,
+                        );
+                        mem::swap(&mut w.h, &mut w.h_next);
+                        mem::swap(&mut w.c, &mut w.c_next);
+                        outs[s].layer_hs[layer][t].clone_from(&w.h);
                     }
                 }
-                hs
             }
             LayerBody::Tissues {
                 search,
@@ -260,58 +376,55 @@ impl BatchRuntime {
                 tissues,
             } => {
                 sink.tag(tag_b(SpanTag::offline(layer), b));
-                sink.emit(batch_kernel(search, b, regions));
+                batch_kernel_into(search, b, regions, &mut shared.batched);
+                sink.emit(&shared.batched);
                 if let Some(k) = link {
-                    sink.emit(batch_kernel(k, b, regions));
+                    batch_kernel_into(k, b, regions, &mut shared.batched);
+                    sink.emit(&shared.batched);
                 }
                 let n = wx[0].len();
-                self.h_slots.resize_with(b, Vec::new);
-                self.c_slots.resize_with(b, Vec::new);
-                for s in 0..b {
-                    self.h_slots[s].clear();
-                    self.h_slots[s].resize(n, None);
-                    self.c_slots[s].clear();
-                    self.c_slots[s].resize(n, None);
+                for w in ws.iter_mut() {
+                    w.zero_h.resize_fill(hidden, 0.0);
+                    w.zero_c.resize_fill(hidden, 0.0);
+                    w.h_slots.resize_with(n, || Vector::zeros(0));
+                    w.c_slots.resize_with(n, || Vector::zeros(0));
+                    w.filled.clear();
+                    w.filled.resize(n, false);
                 }
                 for (k, tp) in tissues.iter().enumerate() {
                     sink.tag(tag_b(
                         SpanTag::tissue(layer, k, tp.sublayers.first().copied()),
                         b,
                     ));
-                    let prevs: Vec<Vec<(Vector, Vector)>> = (0..b)
-                        .map(|s| {
-                            tp.cells
-                                .iter()
-                                .zip(&tp.prev)
-                                .map(|(&t, src)| match src {
-                                    PrevSource::Zeros => {
-                                        (Vector::zeros(hidden), Vector::zeros(hidden))
-                                    }
-                                    PrevSource::Predicted => {
-                                        (predicted_h.clone(), predicted_c.clone())
-                                    }
-                                    PrevSource::Prior => (
-                                        self.h_slots[s][t - 1].clone().expect(
-                                            "schedule guarantees the predecessor already ran",
-                                        ),
-                                        self.c_slots[s][t - 1].clone().expect(
-                                            "schedule guarantees the predecessor already ran",
-                                        ),
-                                    ),
-                                })
-                                .collect()
-                        })
-                        .collect();
+                    // The schedule guarantees every Prior predecessor was
+                    // produced by an earlier tissue; check up front so
+                    // the in-place slot writes below cannot mask a
+                    // malformed plan.
+                    for w in ws.iter() {
+                        for (&t, src) in tp.cells.iter().zip(&tp.prev) {
+                            if matches!(src, PrevSource::Prior) {
+                                assert!(
+                                    w.filled[t - 1],
+                                    "schedule guarantees the predecessor already ran"
+                                );
+                            }
+                        }
+                    }
                     match &tp.kernels {
                         TissueKernels::Plain { sgemm, ew } => {
-                            sink.emit(batch_kernel(sgemm, b, regions));
-                            sink.emit(batch_kernel(ew, b, regions));
-                            for s in 0..b {
-                                for (&t, (h_prev, c_prev)) in tp.cells.iter().zip(&prevs[s]) {
-                                    let (h, c) = weights.step(&wx[s][t], h_prev, c_prev);
-                                    self.h_slots[s][t] = Some(h);
-                                    self.c_slots[s][t] = Some(c);
-                                }
+                            batch_kernel_into(sgemm, b, regions, &mut shared.batched);
+                            sink.emit(&shared.batched);
+                            batch_kernel_into(ew, b, regions, &mut shared.batched);
+                            sink.emit(&shared.batched);
+                            for (s, w) in ws.iter_mut().enumerate() {
+                                Self::step_tissue_plain(
+                                    weights,
+                                    &wx[s],
+                                    tp,
+                                    predicted_h,
+                                    predicted_c,
+                                    w,
+                                );
                             }
                         }
                         TissueKernels::Drs {
@@ -321,65 +434,154 @@ impl BatchRuntime {
                             masked,
                             ew,
                         } => {
-                            sink.emit(batch_kernel(uo, b, regions));
-                            sink.emit(batch_kernel(gate_ew, b, regions));
-                            sink.emit(batch_kernel(select, b, regions));
-                            let oss: Vec<Vec<Vector>> = (0..b)
-                                .map(|s| {
-                                    tp.cells
-                                        .iter()
-                                        .zip(&prevs[s])
-                                        .map(|(&t, (h_prev, _))| {
-                                            weights.output_gate(&wx[s][t].o, h_prev)
-                                        })
-                                        .collect()
-                                })
-                                .collect();
-                            let maskss: Vec<Vec<Vec<bool>>> = oss
-                                .iter()
-                                .map(|os| {
-                                    os.iter()
-                                        .map(|o| trivial_row_mask(o, *alpha_intra))
-                                        .collect()
-                                })
-                                .collect();
-                            for (s, masks) in maskss.iter().enumerate() {
-                                for mask in masks {
-                                    skips[s].push(skip_fraction(mask));
+                            batch_kernel_into(uo, b, regions, &mut shared.batched);
+                            sink.emit(&shared.batched);
+                            batch_kernel_into(gate_ew, b, regions, &mut shared.batched);
+                            sink.emit(&shared.batched);
+                            batch_kernel_into(select, b, regions, &mut shared.batched);
+                            sink.emit(&shared.batched);
+                            let size = tp.cells.len();
+                            for (s, w) in ws.iter_mut().enumerate() {
+                                let Workspace {
+                                    cell,
+                                    os,
+                                    masks,
+                                    h_slots,
+                                    zero_h,
+                                    ..
+                                } = w;
+                                os.resize_with(size, || Vector::zeros(0));
+                                masks.resize_with(size, Vec::new);
+                                for (i, (&t, src)) in tp.cells.iter().zip(&tp.prev).enumerate() {
+                                    let h_prev = match src {
+                                        PrevSource::Zeros => &*zero_h,
+                                        PrevSource::Predicted => predicted_h,
+                                        PrevSource::Prior => &h_slots[t - 1],
+                                    };
+                                    weights.output_gate_into(&wx[s][t].o, h_prev, cell, &mut os[i]);
+                                    trivial_row_mask_into(&os[i], *alpha_intra, &mut masks[i]);
+                                }
+                                for mask in masks.iter() {
+                                    outs[s].layer_skips[layer].push(skip_fraction(mask));
                                 }
                             }
-                            let all_masks: Vec<Vec<bool>> = maskss.concat();
-                            let mut mk = masked.instantiate_batch(&all_masks, b);
+                            // Concatenate each sequence's masks
+                            // (sequence-major, matching the per-sequence
+                            // pricing order).
+                            shared.all_masks.resize_with(b * size, Vec::new);
+                            for (s, w) in ws.iter().enumerate() {
+                                for (i, mask) in w.masks.iter().enumerate() {
+                                    shared.all_masks[s * size + i].clone_from(mask);
+                                }
+                            }
+                            masked.instantiate_batch_into(
+                                &shared.all_masks,
+                                b,
+                                &mut shared.union_mask,
+                                &mut shared.masked_desc,
+                            );
                             if b > 1 {
-                                mk.label = batched_label(&mk.label, b);
+                                push_batch_suffix(&mut shared.masked_desc.label, b);
                             }
-                            sink.emit(mk);
-                            sink.emit(batch_kernel(ew, b, regions));
-                            for s in 0..b {
-                                for ((&t, (h_prev, c_prev)), (o, mask)) in tp
-                                    .cells
-                                    .iter()
-                                    .zip(&prevs[s])
-                                    .zip(oss[s].iter().zip(&maskss[s]))
-                                {
-                                    let (h, c) =
-                                        weights.step_masked(&wx[s][t], h_prev, c_prev, o, mask);
-                                    self.h_slots[s][t] = Some(h);
-                                    self.c_slots[s][t] = Some(c);
-                                }
+                            sink.emit(&shared.masked_desc);
+                            batch_kernel_into(ew, b, regions, &mut shared.batched);
+                            sink.emit(&shared.batched);
+                            for (s, w) in ws.iter_mut().enumerate() {
+                                Self::step_tissue_masked(
+                                    weights,
+                                    &wx[s],
+                                    tp,
+                                    predicted_h,
+                                    predicted_c,
+                                    w,
+                                );
                             }
                         }
                     }
                 }
-                (0..b)
-                    .map(|s| {
-                        self.h_slots[s]
-                            .iter_mut()
-                            .map(|h| h.take().expect("every cell scheduled exactly once"))
-                            .collect()
-                    })
-                    .collect()
+                for (s, w) in ws.iter_mut().enumerate() {
+                    let hs_out = &mut outs[s].layer_hs[layer];
+                    hs_out.resize_with(n, || Vector::zeros(0));
+                    for (t, slot) in hs_out.iter_mut().enumerate().take(n) {
+                        assert!(w.filled[t], "every cell scheduled exactly once");
+                        mem::swap(slot, &mut w.h_slots[t]);
+                    }
+                }
             }
+        }
+    }
+
+    /// Runs one sequence's plain-tissue steps into its workspace slots.
+    fn step_tissue_plain(
+        weights: &CellWeights,
+        wx: &[GatePreacts],
+        tp: &crate::plan::TissuePlan,
+        predicted_h: &Vector,
+        predicted_c: &Vector,
+        w: &mut Workspace,
+    ) {
+        let Workspace {
+            cell,
+            h_slots,
+            c_slots,
+            filled,
+            zero_h,
+            zero_c,
+            ..
+        } = w;
+        for (&t, src) in tp.cells.iter().zip(&tp.prev) {
+            let (done_h, rest_h) = h_slots.split_at_mut(t);
+            let (done_c, rest_c) = c_slots.split_at_mut(t);
+            let (h_prev, c_prev) = match src {
+                PrevSource::Zeros => (&*zero_h, &*zero_c),
+                PrevSource::Predicted => (predicted_h, predicted_c),
+                PrevSource::Prior => (&done_h[t - 1], &done_c[t - 1]),
+            };
+            weights.step_fused_into(&wx[t], h_prev, c_prev, cell, &mut rest_h[0], &mut rest_c[0]);
+            filled[t] = true;
+        }
+    }
+
+    /// Runs one sequence's DRS-tissue masked steps into its workspace
+    /// slots, using the gates/masks already computed in `w.os`/`w.masks`.
+    fn step_tissue_masked(
+        weights: &CellWeights,
+        wx: &[GatePreacts],
+        tp: &crate::plan::TissuePlan,
+        predicted_h: &Vector,
+        predicted_c: &Vector,
+        w: &mut Workspace,
+    ) {
+        let Workspace {
+            cell,
+            os,
+            masks,
+            h_slots,
+            c_slots,
+            filled,
+            zero_h,
+            zero_c,
+            ..
+        } = w;
+        for (i, (&t, src)) in tp.cells.iter().zip(&tp.prev).enumerate() {
+            let (done_h, rest_h) = h_slots.split_at_mut(t);
+            let (done_c, rest_c) = c_slots.split_at_mut(t);
+            let (h_prev, c_prev) = match src {
+                PrevSource::Zeros => (&*zero_h, &*zero_c),
+                PrevSource::Predicted => (predicted_h, predicted_c),
+                PrevSource::Prior => (&done_h[t - 1], &done_c[t - 1]),
+            };
+            weights.step_masked_into(
+                &wx[t],
+                h_prev,
+                c_prev,
+                &os[i],
+                &masks[i],
+                cell,
+                &mut rest_h[0],
+                &mut rest_c[0],
+            );
+            filled[t] = true;
         }
     }
 }

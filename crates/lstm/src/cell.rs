@@ -2,9 +2,8 @@
 
 use rand::Rng;
 use std::sync::OnceLock;
-use tensor::gemm::sgemv_masked;
 use tensor::init::{xavier_uniform, GateBiasInit, RowScaledInit};
-use tensor::{tanh, Activation, Matrix, PackedMatrix, Vector};
+use tensor::{tanh, Activation, FusedGates, GatherScratch, Matrix, Vector};
 
 /// One vector per LSTM gate, in the paper's `f, i, c, o` order.
 ///
@@ -65,7 +64,7 @@ pub struct CellWeights {
     hidden: usize,
     input: usize,
     gate_activation: Activation,
-    /// Lazily built packed row-panel copies of the gate matrices, shared
+    /// Lazily built fused packed copies of the gate matrices, shared
     /// by every plan/runtime that executes this layer. Packing is paid
     /// once per layer, not per timestep (cf. E-PUR's tiled weight reuse).
     /// The cache never diverges from `w`/`u` numerically (packing is a
@@ -74,7 +73,7 @@ pub struct CellWeights {
     /// [`CellWeights::from_parts`] to drop the stale panels. `Clone` is
     /// manual and does **not** copy the cache, so the common
     /// clone-then-edit pattern (e.g. zero pruning) starts cache-cold.
-    packed: OnceLock<PackedCellWeights>,
+    packed: OnceLock<FusedCellWeights>,
 }
 
 impl Clone for CellWeights {
@@ -94,18 +93,45 @@ impl Clone for CellWeights {
     }
 }
 
-/// Row-panel packed copies of all eight gate matrices (see
-/// [`tensor::packed`]). Built lazily by [`CellWeights::packed`].
+/// Fused row-panel packed copies of the gate matrices (see
+/// [`tensor::fused`]): the `W_{f,i,c,o}` quartet in one slab and the
+/// `U_{f,i,c,o}` quartet in another, each applied with a single fused
+/// GEMV per step instead of four. Built lazily by
+/// [`CellWeights::fused`]; gate order is `f, i, c, o` (so the masked
+/// DRS step can run the `f, i, c` prefix under one shared row mask and
+/// [`CellWeights::output_gate`] addresses gate `3`).
 #[derive(Debug, Clone)]
-struct PackedCellWeights {
-    wf: PackedMatrix,
-    wi: PackedMatrix,
-    wc: PackedMatrix,
-    wo: PackedMatrix,
-    uf: PackedMatrix,
-    ui: PackedMatrix,
-    uc: PackedMatrix,
-    uo: PackedMatrix,
+struct FusedCellWeights {
+    /// `W_f / W_i / W_c / W_o` (`hidden x input` each).
+    w: FusedGates,
+    /// `U_f / U_i / U_c / U_o` (`hidden x hidden` each).
+    u: FusedGates,
+}
+
+/// Gate indices inside the fused `f, i, c, o` packs.
+const GATE_O: usize = 3;
+
+/// Reusable scratch for the zero-allocation `_into` cell-step APIs.
+///
+/// One `CellScratch` serves any number of layers sequentially: the
+/// fused-gate slab and the DRS gather panel grow to the largest layer
+/// seen and are then reused without further heap traffic. Runtimes keep
+/// one of these per workspace and rent it to every step.
+#[derive(Debug, Default)]
+pub struct CellScratch {
+    /// Fused pre-activation slab: `4 * hidden` for dense steps
+    /// (`U_{f,i,c,o}·h`), `3 * hidden` for masked steps (`U_{f,i,c}·h`),
+    /// `hidden` for the output-gate-only launch.
+    slab: Vec<f32>,
+    /// Row-gather panel for DRS-masked recurrent GEMVs.
+    gather: GatherScratch,
+}
+
+impl CellScratch {
+    /// New, empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl PartialEq for CellWeights {
@@ -226,18 +252,12 @@ impl CellWeights {
         }
     }
 
-    /// The packed row-panel copies of the gate matrices, built on first
-    /// use and reused for the lifetime of the cell.
-    fn packed(&self) -> &PackedCellWeights {
-        self.packed.get_or_init(|| PackedCellWeights {
-            wf: PackedMatrix::pack(&self.w.f),
-            wi: PackedMatrix::pack(&self.w.i),
-            wc: PackedMatrix::pack(&self.w.c),
-            wo: PackedMatrix::pack(&self.w.o),
-            uf: PackedMatrix::pack(&self.u.f),
-            ui: PackedMatrix::pack(&self.u.i),
-            uc: PackedMatrix::pack(&self.u.c),
-            uo: PackedMatrix::pack(&self.u.o),
+    /// The fused packed copies of the gate matrices, built on first use
+    /// and reused for the lifetime of the cell.
+    fn fused(&self) -> &FusedCellWeights {
+        self.packed.get_or_init(|| FusedCellWeights {
+            w: FusedGates::pack(&[&self.w.f, &self.w.i, &self.w.c, &self.w.o]),
+            u: FusedGates::pack(&[&self.u.f, &self.u.i, &self.u.c, &self.u.o]),
         })
     }
 
@@ -438,41 +458,124 @@ impl CellWeights {
     /// # Panics
     /// Panics if `x.len() != input_dim`.
     pub fn precompute_wx(&self, x: &Vector) -> GatePreacts {
-        let p = self.packed();
-        GatePreacts {
-            f: p.wf.gemv(x),
-            i: p.wi.gemv(x),
-            c: p.wc.gemv(x),
-            o: p.wo.gemv(x),
-        }
+        let mut out = GatePreacts::zeros(self.hidden);
+        self.precompute_wx_into(x, &mut out);
+        out
+    }
+
+    /// [`precompute_wx`](Self::precompute_wx) into caller-owned gate
+    /// vectors (resized in place; allocation-free once at width). One
+    /// fused pass over the `W_{f,i,c,o}` slab fills all four sections.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != input_dim`.
+    pub fn precompute_wx_into(&self, x: &Vector, out: &mut GatePreacts) {
+        let n = self.hidden;
+        let fused = &self.fused().w;
+        out.f.resize_fill(n, 0.0);
+        out.i.resize_fill(n, 0.0);
+        out.c.resize_fill(n, 0.0);
+        out.o.resize_fill(n, 0.0);
+        fused.gate_gemv_into(0, x.as_slice(), out.f.as_mut_slice());
+        fused.gate_gemv_into(1, x.as_slice(), out.i.as_mut_slice());
+        fused.gate_gemv_into(2, x.as_slice(), out.c.as_mut_slice());
+        fused.gate_gemv_into(GATE_O, x.as_slice(), out.o.as_mut_slice());
     }
 
     /// Computes the `W_{f,i,c,o}·x_t` terms for a whole batch of input
-    /// columns through the GEMM-shaped packed path
-    /// ([`PackedMatrix::gemv_batch`]): each weight panel is walked once
-    /// and reused by every column. Entry `i` is bit-identical to
-    /// [`precompute_wx`](Self::precompute_wx)`(&xs[i])`.
+    /// columns through the GEMM-shaped fused path: each weight panel is
+    /// walked once and reused by every column. Entry `i` is bit-identical
+    /// to [`precompute_wx`](Self::precompute_wx)`(&xs[i])`.
     ///
     /// # Panics
     /// Panics if any `xs[i].len() != input_dim`.
     pub fn precompute_wx_batch(&self, xs: &[Vector]) -> Vec<GatePreacts> {
-        let p = self.packed();
-        let fs = p.wf.gemv_batch(xs);
-        let is = p.wi.gemv_batch(xs);
-        let cs = p.wc.gemv_batch(xs);
-        let os = p.wo.gemv_batch(xs);
-        fs.into_iter()
-            .zip(is)
-            .zip(cs)
-            .zip(os)
-            .map(|(((f, i), c), o)| GatePreacts { f, i, c, o })
-            .collect()
+        let mut out = Vec::new();
+        self.precompute_wx_batch_into(xs, &mut out);
+        out
+    }
+
+    /// [`precompute_wx_batch`](Self::precompute_wx_batch) into a recycled
+    /// buffer: `out` is resized to `xs.len()` entries of width `hidden`
+    /// and fully overwritten. Steady-state loops that keep `out` across
+    /// timesteps never touch the allocator here.
+    ///
+    /// # Panics
+    /// Panics if any `xs[i].len() != input_dim`.
+    pub fn precompute_wx_batch_into(&self, xs: &[Vector], out: &mut Vec<GatePreacts>) {
+        let n = self.hidden;
+        out.resize_with(xs.len(), || GatePreacts::zeros(n));
+        for gp in out.iter_mut() {
+            gp.f.resize_fill(n, 0.0);
+            gp.i.resize_fill(n, 0.0);
+            gp.c.resize_fill(n, 0.0);
+            gp.o.resize_fill(n, 0.0);
+        }
+        let fused = &self.fused().w;
+        fused.gate_gemv_batch_with(0, xs, |i, row0, vals| {
+            out[i].f.as_mut_slice()[row0..row0 + vals.len()].copy_from_slice(vals);
+        });
+        fused.gate_gemv_batch_with(1, xs, |i, row0, vals| {
+            out[i].i.as_mut_slice()[row0..row0 + vals.len()].copy_from_slice(vals);
+        });
+        fused.gate_gemv_batch_with(2, xs, |i, row0, vals| {
+            out[i].c.as_mut_slice()[row0..row0 + vals.len()].copy_from_slice(vals);
+        });
+        fused.gate_gemv_batch_with(GATE_O, xs, |i, row0, vals| {
+            out[i].o.as_mut_slice()[row0..row0 + vals.len()].copy_from_slice(vals);
+        });
     }
 
     /// One exact cell step (Eqs. 1–5) from precomputed `W·x` terms.
     pub fn step(&self, wx: &GatePreacts, h_prev: &Vector, c_prev: &Vector) -> (Vector, Vector) {
-        let step = self.step_detailed(wx, h_prev, c_prev);
-        (step.h, step.c)
+        let mut scratch = CellScratch::new();
+        let mut h = Vector::zeros(0);
+        let mut c = Vector::zeros(0);
+        self.step_fused_into(wx, h_prev, c_prev, &mut scratch, &mut h, &mut c);
+        (h, c)
+    }
+
+    /// The zero-allocation exact cell step: one fused `U_{f,i,c,o}·h`
+    /// GEMV into the scratch slab, then the Eqs. 1–5 elementwise pass
+    /// into the recycled `h_out`/`c_out`. Bit-identical to
+    /// [`step`](Self::step) (same kernels, same per-element association).
+    ///
+    /// `h_out`/`c_out` may alias the previous state only by value — pass
+    /// distinct buffers; runtimes double-buffer and swap.
+    ///
+    /// # Panics
+    /// Panics on `h_prev`/`c_prev` length mismatch.
+    pub fn step_fused_into(
+        &self,
+        wx: &GatePreacts,
+        h_prev: &Vector,
+        c_prev: &Vector,
+        scratch: &mut CellScratch,
+        h_out: &mut Vector,
+        c_out: &mut Vector,
+    ) {
+        let n = self.hidden;
+        assert_eq!(h_prev.len(), n, "h_prev length mismatch");
+        assert_eq!(c_prev.len(), n, "c_prev length mismatch");
+        scratch.slab.clear();
+        scratch.slab.resize(4 * n, 0.0);
+        self.fused()
+            .u
+            .gemv_into(h_prev.as_slice(), &mut scratch.slab);
+        let (uf, rest) = scratch.slab.split_at(n);
+        let (ui, rest) = rest.split_at(n);
+        let (uc, uo) = rest.split_at(n);
+        h_out.resize_fill(n, 0.0);
+        c_out.resize_fill(n, 0.0);
+        let sig = self.gate_activation;
+        for j in 0..n {
+            let f = sig.apply(wx.f[j] + uf[j] + self.b.f[j]);
+            let i = sig.apply(wx.i[j] + ui[j] + self.b.i[j]);
+            let cand = tanh(wx.c[j] + uc[j] + self.b.c[j]);
+            let o = sig.apply(wx.o[j] + uo[j] + self.b.o[j]);
+            c_out[j] = f * c_prev[j] + i * cand;
+            h_out[j] = o * tanh(c_out[j]);
+        }
     }
 
     /// One exact cell step that also returns post-activation gate values
@@ -481,11 +584,11 @@ impl CellWeights {
         let n = self.hidden;
         assert_eq!(h_prev.len(), n, "h_prev length mismatch");
         assert_eq!(c_prev.len(), n, "c_prev length mismatch");
-        let p = self.packed();
-        let uf = p.uf.gemv(h_prev);
-        let ui = p.ui.gemv(h_prev);
-        let uc = p.uc.gemv(h_prev);
-        let uo = p.uo.gemv(h_prev);
+        let mut slab = vec![0.0f32; 4 * n];
+        self.fused().u.gemv_into(h_prev.as_slice(), &mut slab);
+        let (uf, rest) = slab.split_at(n);
+        let (ui, rest) = rest.split_at(n);
+        let (uc, uo) = rest.split_at(n);
 
         let sig = self.gate_activation;
         let mut f = Vector::zeros(n);
@@ -513,10 +616,32 @@ impl CellWeights {
     /// Algorithm 3 lines 4–5, executed *before* the `U_{f,i,c}` work so the
     /// trivial rows can be identified.
     pub fn output_gate(&self, wx_o: &Vector, h_prev: &Vector) -> Vector {
-        let uo = self.packed().uo.gemv(h_prev);
-        Vector::from_fn(self.hidden, |j| {
-            self.gate_activation.apply(wx_o[j] + uo[j] + self.b.o[j])
-        })
+        let mut scratch = CellScratch::new();
+        let mut o = Vector::zeros(0);
+        self.output_gate_into(wx_o, h_prev, &mut scratch, &mut o);
+        o
+    }
+
+    /// [`output_gate`](Self::output_gate) into a recycled buffer — the
+    /// zero-allocation form for DRS step loops. Bit-identical.
+    pub fn output_gate_into(
+        &self,
+        wx_o: &Vector,
+        h_prev: &Vector,
+        scratch: &mut CellScratch,
+        o_out: &mut Vector,
+    ) {
+        let n = self.hidden;
+        scratch.slab.clear();
+        scratch.slab.resize(n, 0.0);
+        self.fused()
+            .u
+            .gate_gemv_into(GATE_O, h_prev.as_slice(), &mut scratch.slab);
+        o_out.resize_fill(n, 0.0);
+        let sig = self.gate_activation;
+        for j in 0..n {
+            o_out[j] = sig.apply(wx_o[j] + scratch.slab[j] + self.b.o[j]);
+        }
     }
 
     /// One Dynamic-Row-Skip cell step (Algorithm 3 lines 7–8): the rows of
@@ -536,30 +661,64 @@ impl CellWeights {
         o: &Vector,
         active: &[bool],
     ) -> (Vector, Vector) {
+        let mut scratch = CellScratch::new();
+        let mut h = Vector::zeros(0);
+        let mut c = Vector::zeros(0);
+        self.step_masked_into(wx, h_prev, c_prev, o, active, &mut scratch, &mut h, &mut c);
+        (h, c)
+    }
+
+    /// The zero-allocation DRS step: the `f, i, c` prefix of the fused
+    /// `U` slab is applied under the shared row mask (one gathered
+    /// launch), then the masked elementwise pass fills the recycled
+    /// outputs. Bit-identical to [`step_masked`](Self::step_masked).
+    ///
+    /// # Panics
+    /// Panics on any length mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_masked_into(
+        &self,
+        wx: &GatePreacts,
+        h_prev: &Vector,
+        c_prev: &Vector,
+        o: &Vector,
+        active: &[bool],
+        scratch: &mut CellScratch,
+        h_out: &mut Vector,
+        c_out: &mut Vector,
+    ) {
         let n = self.hidden;
         assert_eq!(active.len(), n, "mask length mismatch");
         assert_eq!(o.len(), n, "output-gate length mismatch");
-        let uf = sgemv_masked(&self.u.f, h_prev, active, 0.0);
-        let ui = sgemv_masked(&self.u.i, h_prev, active, 0.0);
-        let uc = sgemv_masked(&self.u.c, h_prev, active, 0.0);
-        let mut c = Vector::zeros(n);
-        let mut h = Vector::zeros(n);
+        scratch.slab.clear();
+        scratch.slab.resize(3 * n, 0.0);
+        self.fused().u.gemv_masked_prefix_into(
+            3,
+            h_prev,
+            active,
+            0.0,
+            &mut scratch.gather,
+            &mut scratch.slab,
+        );
+        let (uf, rest) = scratch.slab.split_at(n);
+        let (ui, uc) = rest.split_at(n);
+        h_out.resize_fill(n, 0.0);
+        c_out.resize_fill(n, 0.0);
         let sig = self.gate_activation;
         for j in 0..n {
             if active[j] {
                 let f = sig.apply(wx.f[j] + uf[j] + self.b.f[j]);
                 let i = sig.apply(wx.i[j] + ui[j] + self.b.i[j]);
                 let cand = tanh(wx.c[j] + uc[j] + self.b.c[j]);
-                c[j] = f * c_prev[j] + i * cand;
-                h[j] = o[j] * tanh(c[j]);
+                c_out[j] = f * c_prev[j] + i * cand;
+                h_out[j] = o[j] * tanh(c_out[j]);
             } else {
                 // Skipped row: c_t element approximated to zero (Sec. V-A);
                 // h_t follows since tanh(0) = 0.
-                c[j] = 0.0;
-                h[j] = 0.0;
+                c_out[j] = 0.0;
+                h_out[j] = 0.0;
             }
         }
-        (h, c)
     }
 }
 

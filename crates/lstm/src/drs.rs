@@ -63,7 +63,16 @@ impl Default for DrsConfig {
 /// the *active* mask — `true` rows are kept, `false` rows are the trivial
 /// list `R`.
 pub fn trivial_row_mask(o: &Vector, alpha_intra: f32) -> Vec<bool> {
-    o.iter().map(|&v| v >= alpha_intra).collect()
+    let mut out = Vec::new();
+    trivial_row_mask_into(o, alpha_intra, &mut out);
+    out
+}
+
+/// [`trivial_row_mask`] into a recycled buffer (cleared and refilled) —
+/// the zero-allocation form for steady-state step loops.
+pub fn trivial_row_mask_into(o: &Vector, alpha_intra: f32, out: &mut Vec<bool>) {
+    out.clear();
+    out.extend(o.iter().map(|&v| v >= alpha_intra));
 }
 
 /// Fraction of rows skipped by a mask, in `[0, 1]`.
@@ -79,17 +88,25 @@ pub fn skip_fraction(active: &[bool]) -> f64 {
 /// is the traffic overlap between the inter- and intra-cell optimizations
 /// the paper notes in Sec. VI-B3.
 pub fn union_active(masks: &[Vec<bool>]) -> Vec<bool> {
+    let mut out = Vec::new();
+    union_active_into(masks, &mut out);
+    out
+}
+
+/// [`union_active`] into a recycled buffer (cleared and refilled) — the
+/// zero-allocation form used by the masked-kernel pricing templates.
+pub fn union_active_into(masks: &[Vec<bool>], out: &mut Vec<bool>) {
+    out.clear();
     let Some(first) = masks.first() else {
-        return Vec::new();
+        return;
     };
-    let mut out = vec![false; first.len()];
+    out.resize(first.len(), false);
     for mask in masks {
         debug_assert_eq!(mask.len(), out.len(), "union_active: ragged masks");
         for (o, &m) in out.iter_mut().zip(mask) {
             *o |= m;
         }
     }
-    out
 }
 
 /// Execution-cost model of the masked `Sgemv`/`Sgemm` under each mode.

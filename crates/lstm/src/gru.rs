@@ -8,16 +8,21 @@
 //! candidate-state rows for those units can be skipped.
 
 use rand::Rng;
-use tensor::gemm::{sgemv, sgemv_masked};
+use std::sync::OnceLock;
 use tensor::init::{GateBiasInit, RowScaledInit};
-use tensor::{sigmoid, tanh, Matrix, Vector};
+use tensor::{sigmoid, tanh, FusedGates, GatherScratch, Matrix, Vector};
+
+/// Gate indices inside the fused `r, z, h` packs.
+const GATE_R: usize = 0;
+const GATE_Z: usize = 1;
+const GATE_H: usize = 2;
 
 /// Per-layer GRU weights.
 ///
 /// Gates follow the standard formulation:
 /// `r = σ(W_r x + U_r h + b_r)`, `z = σ(W_z x + U_z h + b_z)`,
 /// `h̃ = tanh(W_h x + U_h (r ⊙ h) + b_h)`, `h' = (1-z) ⊙ h + z ⊙ h̃`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct GruWeights {
     /// Reset-gate input/recurrent/bias.
     pub w_r: Matrix,
@@ -39,6 +44,78 @@ pub struct GruWeights {
     pub b_h: Vector,
     hidden: usize,
     input: usize,
+    /// Lazily built fused `r, z, h` packs (same rules as the LSTM cell's
+    /// cache: pure relayout, dropped on clone so clone-then-edit starts
+    /// cache-cold).
+    packed: OnceLock<FusedGruWeights>,
+}
+
+/// The fused packed gate slabs (`W_{r,z,h}` and `U_{r,z,h}`).
+#[derive(Debug, Clone)]
+struct FusedGruWeights {
+    w: FusedGates,
+    u: FusedGates,
+}
+
+impl Clone for GruWeights {
+    fn clone(&self) -> Self {
+        Self {
+            w_r: self.w_r.clone(),
+            w_z: self.w_z.clone(),
+            w_h: self.w_h.clone(),
+            u_r: self.u_r.clone(),
+            u_z: self.u_z.clone(),
+            u_h: self.u_h.clone(),
+            b_r: self.b_r.clone(),
+            b_z: self.b_z.clone(),
+            b_h: self.b_h.clone(),
+            hidden: self.hidden,
+            input: self.input,
+            packed: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for GruWeights {
+    fn eq(&self, other: &Self) -> bool {
+        // The packed cache is a pure relayout — equality is over the
+        // logical weights only.
+        self.w_r == other.w_r
+            && self.w_z == other.w_z
+            && self.w_h == other.w_h
+            && self.u_r == other.u_r
+            && self.u_z == other.u_z
+            && self.u_h == other.u_h
+            && self.b_r == other.b_r
+            && self.b_z == other.b_z
+            && self.b_h == other.b_h
+            && self.hidden == other.hidden
+            && self.input == other.input
+    }
+}
+
+/// Reusable scratch for the zero-allocation GRU step APIs (the GRU twin
+/// of [`CellScratch`](crate::cell::CellScratch)).
+#[derive(Debug, Default)]
+pub struct GruScratch {
+    /// `2 * hidden` slab: the `W·x` and `U·h` pre-activations of the
+    /// gate currently being evaluated.
+    slab: Vec<f32>,
+    /// Reset gate `r_t`.
+    r: Vec<f32>,
+    /// `r_t ⊙ h_{t-1}`, the candidate GEMV operand.
+    rh: Vector,
+    /// Update gate `z_t` (dense step only; the masked step takes `z`).
+    z: Vec<f32>,
+    /// Row-gather panel for masked recurrent GEMVs.
+    gather: GatherScratch,
+}
+
+impl GruScratch {
+    /// New, empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl GruWeights {
@@ -70,7 +147,16 @@ impl GruWeights {
             b_h: plain.sample(rng, hidden),
             hidden,
             input,
+            packed: OnceLock::new(),
         }
+    }
+
+    /// The fused packed gate slabs, built on first use.
+    fn fused(&self) -> &FusedGruWeights {
+        self.packed.get_or_init(|| FusedGruWeights {
+            w: FusedGates::pack(&[&self.w_r, &self.w_z, &self.w_h]),
+            u: FusedGates::pack(&[&self.u_r, &self.u_z, &self.u_h]),
+        })
     }
 
     /// Hidden width.
@@ -91,24 +177,84 @@ impl GruWeights {
     /// The update gate `z_t` alone (computed first in the DRS-adapted
     /// flow, mirroring Algorithm 3 lines 4–5).
     pub fn update_gate(&self, x: &Vector, h_prev: &Vector) -> Vector {
-        let wz = sgemv(&self.w_z, x);
-        let uz = sgemv(&self.u_z, h_prev);
-        Vector::from_fn(self.hidden, |j| sigmoid(wz[j] + uz[j] + self.b_z[j]))
+        let mut scratch = GruScratch::new();
+        let mut z = Vector::zeros(0);
+        self.update_gate_into(x, h_prev, &mut scratch, &mut z);
+        z
+    }
+
+    /// [`update_gate`](Self::update_gate) into a recycled buffer — the
+    /// zero-allocation form for DRS step loops. Bit-identical.
+    pub fn update_gate_into(
+        &self,
+        x: &Vector,
+        h_prev: &Vector,
+        scratch: &mut GruScratch,
+        z_out: &mut Vector,
+    ) {
+        let n = self.hidden;
+        let fused = self.fused();
+        scratch.slab.clear();
+        scratch.slab.resize(2 * n, 0.0);
+        let (wz, uz) = scratch.slab.split_at_mut(n);
+        fused.w.gate_gemv_into(GATE_Z, x.as_slice(), wz);
+        fused.u.gate_gemv_into(GATE_Z, h_prev.as_slice(), uz);
+        z_out.resize_fill(n, 0.0);
+        for j in 0..n {
+            z_out[j] = sigmoid(wz[j] + uz[j] + self.b_z[j]);
+        }
     }
 
     /// One exact GRU step.
     pub fn step(&self, x: &Vector, h_prev: &Vector) -> Vector {
-        let wr = sgemv(&self.w_r, x);
-        let ur = sgemv(&self.u_r, h_prev);
-        let z = self.update_gate(x, h_prev);
-        let r = Vector::from_fn(self.hidden, |j| sigmoid(wr[j] + ur[j] + self.b_r[j]));
-        let rh = r.hadamard(h_prev);
-        let wh = sgemv(&self.w_h, x);
-        let uh = sgemv(&self.u_h, &rh);
-        Vector::from_fn(self.hidden, |j| {
-            let cand = tanh(wh[j] + uh[j] + self.b_h[j]);
-            (1.0 - z[j]) * h_prev[j] + z[j] * cand
-        })
+        let mut scratch = GruScratch::new();
+        let mut h = Vector::zeros(0);
+        self.step_into(x, h_prev, &mut scratch, &mut h);
+        h
+    }
+
+    /// The zero-allocation exact GRU step: each gate is one pass through
+    /// the fused `r, z, h` packs into the scratch slab, with `r ⊙ h` and
+    /// `z` held in recycled scratch buffers. Bit-identical to
+    /// [`step`](Self::step) (the packed GEMV reproduces the reference
+    /// `sgemv` bitwise, and the per-element expressions are unchanged).
+    pub fn step_into(
+        &self,
+        x: &Vector,
+        h_prev: &Vector,
+        scratch: &mut GruScratch,
+        h_out: &mut Vector,
+    ) {
+        let n = self.hidden;
+        let fused = self.fused();
+        scratch.slab.clear();
+        scratch.slab.resize(2 * n, 0.0);
+        scratch.r.clear();
+        scratch.r.resize(n, 0.0);
+        scratch.z.clear();
+        scratch.z.resize(n, 0.0);
+        let (wbuf, ubuf) = scratch.slab.split_at_mut(n);
+        fused.w.gate_gemv_into(GATE_R, x.as_slice(), wbuf);
+        fused.u.gate_gemv_into(GATE_R, h_prev.as_slice(), ubuf);
+        for j in 0..n {
+            scratch.r[j] = sigmoid(wbuf[j] + ubuf[j] + self.b_r[j]);
+        }
+        fused.w.gate_gemv_into(GATE_Z, x.as_slice(), wbuf);
+        fused.u.gate_gemv_into(GATE_Z, h_prev.as_slice(), ubuf);
+        for j in 0..n {
+            scratch.z[j] = sigmoid(wbuf[j] + ubuf[j] + self.b_z[j]);
+        }
+        scratch.rh.resize_fill(n, 0.0);
+        for j in 0..n {
+            scratch.rh[j] = scratch.r[j] * h_prev[j];
+        }
+        fused.w.gate_gemv_into(GATE_H, x.as_slice(), wbuf);
+        fused.u.gate_gemv_into(GATE_H, scratch.rh.as_slice(), ubuf);
+        h_out.resize_fill(n, 0.0);
+        for j in 0..n {
+            let cand = tanh(wbuf[j] + ubuf[j] + self.b_h[j]);
+            h_out[j] = (1.0 - scratch.z[j]) * h_prev[j] + scratch.z[j] * cand;
+        }
     }
 
     /// The DRS-adapted GRU step: units where `active[j]` is `false`
@@ -120,29 +266,67 @@ impl GruWeights {
     /// # Panics
     /// Panics on length mismatches.
     pub fn step_masked(&self, x: &Vector, h_prev: &Vector, z: &Vector, active: &[bool]) -> Vector {
-        assert_eq!(active.len(), self.hidden, "mask length mismatch");
-        assert_eq!(z.len(), self.hidden, "update-gate length mismatch");
-        let wr = sgemv(&self.w_r, x);
-        let ur = sgemv_masked(&self.u_r, h_prev, active, 0.0);
-        let r = Vector::from_fn(self.hidden, |j| {
-            if active[j] {
-                sigmoid(wr[j] + ur[j] + self.b_r[j])
+        let mut scratch = GruScratch::new();
+        let mut h = Vector::zeros(0);
+        self.step_masked_into(x, h_prev, z, active, &mut scratch, &mut h);
+        h
+    }
+
+    /// The zero-allocation DRS-adapted step. `U_r` applies to `h_{t-1}`
+    /// and `U_h` to `r ⊙ h_{t-1}`, so the two masked recurrent GEMVs run
+    /// per gate (they cannot share one gathered launch the way the LSTM's
+    /// `f, i, c` prefix does). Bit-identical to
+    /// [`step_masked`](Self::step_masked).
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn step_masked_into(
+        &self,
+        x: &Vector,
+        h_prev: &Vector,
+        z: &Vector,
+        active: &[bool],
+        scratch: &mut GruScratch,
+        h_out: &mut Vector,
+    ) {
+        let n = self.hidden;
+        assert_eq!(active.len(), n, "mask length mismatch");
+        assert_eq!(z.len(), n, "update-gate length mismatch");
+        let fused = self.fused();
+        scratch.slab.clear();
+        scratch.slab.resize(2 * n, 0.0);
+        scratch.r.clear();
+        scratch.r.resize(n, 0.0);
+        let (wbuf, ubuf) = scratch.slab.split_at_mut(n);
+        fused.w.gate_gemv_into(GATE_R, x.as_slice(), wbuf);
+        fused
+            .u
+            .gate_gemv_masked_into(GATE_R, h_prev, active, 0.0, &mut scratch.gather, ubuf);
+        for j in 0..n {
+            scratch.r[j] = if active[j] {
+                sigmoid(wbuf[j] + ubuf[j] + self.b_r[j])
             } else {
                 0.0
-            }
-        });
-        let rh = r.hadamard(h_prev);
-        let wh = sgemv(&self.w_h, x);
-        let uh = sgemv_masked(&self.u_h, &rh, active, 0.0);
-        Vector::from_fn(self.hidden, |j| {
-            if active[j] {
-                let cand = tanh(wh[j] + uh[j] + self.b_h[j]);
+            };
+        }
+        scratch.rh.resize_fill(n, 0.0);
+        for j in 0..n {
+            scratch.rh[j] = scratch.r[j] * h_prev[j];
+        }
+        fused.w.gate_gemv_into(GATE_H, x.as_slice(), wbuf);
+        fused
+            .u
+            .gate_gemv_masked_into(GATE_H, &scratch.rh, active, 0.0, &mut scratch.gather, ubuf);
+        h_out.resize_fill(n, 0.0);
+        for j in 0..n {
+            h_out[j] = if active[j] {
+                let cand = tanh(wbuf[j] + ubuf[j] + self.b_h[j]);
                 (1.0 - z[j]) * h_prev[j] + z[j] * cand
             } else {
                 // Near-zero update gate: the unit copies its history.
                 h_prev[j]
-            }
-        })
+            };
+        }
     }
 }
 

@@ -12,7 +12,7 @@ use crate::plan::{ExecutionPlan, PlanRuntime, TraceCollector};
 use crate::schedule::NetworkRun;
 use gpu_sim::KernelDesc;
 use rand::Rng;
-use tensor::gemm::sgemv_bias;
+use tensor::gemm::{sgemv_bias, sgemv_bias_into};
 use tensor::init::{gaussian_matrix, gaussian_vector};
 use tensor::{Matrix, Vector};
 
@@ -82,6 +82,12 @@ impl GruNetwork {
     /// Applies the task head.
     pub fn apply_head(&self, h: &Vector) -> Vector {
         sgemv_bias(&self.head_w, h, &self.head_b)
+    }
+
+    /// [`apply_head`](Self::apply_head) into a recycled vector —
+    /// bit-identical, zero allocations once warm.
+    pub fn apply_head_into(&self, h: &Vector, out: &mut Vector) {
+        sgemv_bias_into(&self.head_w, h, &self.head_b, out);
     }
 
     /// Exact forward pass; returns per-layer hidden sequences and logits.

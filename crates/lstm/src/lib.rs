@@ -38,18 +38,20 @@ pub mod network;
 pub mod plan;
 pub mod regions;
 pub mod schedule;
+pub mod workspace;
 
 pub use batch::{batch_kernel, BatchRuntime};
-pub use cell::{CellWeights, GatePreacts, GateVectors};
+pub use cell::{CellScratch, CellWeights, GatePreacts, GateVectors};
 pub use config::ModelConfig;
 pub use drs::{DrsConfig, DrsMode};
-pub use gru::{GruLayer, GruWeights};
+pub use gru::{GruLayer, GruScratch, GruWeights};
 pub use gru_exec::{GruBaselineExecutor, GruNetwork};
 pub use layer::{LayerState, LstmLayer};
 pub use network::{LstmNetwork, NetworkOutput};
 pub use plan::{ExecutionPlan, KernelSink, PlanOutput, PlanRuntime, TraceCollector};
 pub use regions::{LayerRegions, RegionAllocator};
 pub use schedule::{BaselineExecutor, LayerRun, NetworkRun};
+pub use workspace::Workspace;
 
 use rand::Rng;
 use tensor::Vector;

@@ -4,7 +4,7 @@ use crate::cell::CellWeights;
 use crate::config::ModelConfig;
 use crate::layer::{LayerState, LstmLayer};
 use rand::Rng;
-use tensor::gemm::sgemv_bias;
+use tensor::gemm::{sgemv_bias, sgemv_bias_into};
 use tensor::init::{gaussian_matrix, gaussian_vector};
 use tensor::{Matrix, Vector};
 
@@ -160,6 +160,12 @@ impl LstmNetwork {
     /// Applies the task head to a final hidden state.
     pub fn apply_head(&self, h_final: &Vector) -> Vector {
         sgemv_bias(&self.head_w, h_final, &self.head_b)
+    }
+
+    /// [`apply_head`](Self::apply_head) into a recycled vector —
+    /// bit-identical, zero allocations once warm.
+    pub fn apply_head_into(&self, h_final: &Vector, out: &mut Vector) {
+        sgemv_bias_into(&self.head_w, h_final, &self.head_b, out);
     }
 
     /// Exact (baseline-numerics) forward pass.

@@ -29,7 +29,7 @@
 //! in the `memlstm` crate, which owns the offline analyses.
 
 use crate::cell::{CellWeights, GatePreacts};
-use crate::drs::{skip_cost, skip_fraction, trivial_row_mask, union_active, DrsMode};
+use crate::drs::{skip_cost, skip_fraction, trivial_row_mask_into, union_active_into, DrsMode};
 use crate::gru::GruWeights;
 use crate::gru_exec::GruNetwork;
 use crate::network::LstmNetwork;
@@ -37,7 +37,9 @@ use crate::regions::{NetworkRegions, RegionAllocator};
 use crate::schedule::{
     ew_kernel, head_kernel, u_sgemv_kernel, wx_sgemm_kernel, LayerRun, NetworkRun, F32,
 };
-use gpu_sim::{DeviceModel, KernelDesc, KernelKind, RegionId, SpanTag, TraceSession};
+use crate::workspace::Workspace;
+use gpu_sim::{DeviceModel, KernelDesc, KernelKind, MemAccess, RegionId, SpanTag, TraceSession};
+use std::mem;
 use tensor::Vector;
 
 /// Receives kernels as the runtime "launches" them.
@@ -66,8 +68,10 @@ pub trait KernelSink {
         let _ = tag;
     }
 
-    /// Receives one launched kernel.
-    fn emit(&mut self, kernel: KernelDesc);
+    /// Receives one launched kernel, by reference: the runtime retains
+    /// ownership (most kernels live in the plan or a recycled workspace
+    /// slot), so sinks that merely price or discard never copy.
+    fn emit(&mut self, kernel: &KernelDesc);
 }
 
 /// Discards every kernel. Used when only the numerics matter — e.g. while
@@ -77,13 +81,13 @@ pub trait KernelSink {
 pub struct NullSink;
 
 impl KernelSink for NullSink {
-    fn emit(&mut self, _kernel: KernelDesc) {}
+    fn emit(&mut self, _kernel: &KernelDesc) {}
 }
 
 /// Collects the flat kernel stream in launch order.
 impl KernelSink for Vec<KernelDesc> {
-    fn emit(&mut self, kernel: KernelDesc) {
-        self.push(kernel);
+    fn emit(&mut self, kernel: &KernelDesc) {
+        self.push(kernel.clone());
     }
 }
 
@@ -94,8 +98,8 @@ impl KernelSink for TraceSession<'_> {
         self.set_span_tag(tag);
     }
 
-    fn emit(&mut self, kernel: KernelDesc) {
-        self.price_kernel(&kernel);
+    fn emit(&mut self, kernel: &KernelDesc) {
+        self.price_kernel(kernel);
     }
 }
 
@@ -117,14 +121,14 @@ impl KernelSink for TraceCollector {
         self.in_tail = true;
     }
 
-    fn emit(&mut self, kernel: KernelDesc) {
+    fn emit(&mut self, kernel: &KernelDesc) {
         if self.in_tail {
-            self.tail.push(kernel);
+            self.tail.push(kernel.clone());
         } else {
             self.layers
                 .last_mut()
                 .expect("begin_layer before emit")
-                .push(kernel);
+                .push(kernel.clone());
         }
     }
 }
@@ -237,12 +241,31 @@ impl MaskedUKernel {
     /// # Panics
     /// Debug-asserts that `masks` matches the planned batch size.
     pub fn instantiate(&self, masks: &[Vec<bool>]) -> KernelDesc {
+        let mut out = KernelDesc::builder(String::new(), KernelKind::Sgemv).build();
+        self.instantiate_into(masks, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// [`instantiate`](Self::instantiate) into a recycled descriptor —
+    /// the zero-allocation form for steady-state step loops. `union` is
+    /// mask scratch; `out` is overwritten field by field (its label and
+    /// access-list buffers are reused). Produces a descriptor value-equal
+    /// to [`instantiate`](Self::instantiate)'s.
+    ///
+    /// # Panics
+    /// Debug-asserts that `masks` matches the planned batch size.
+    pub fn instantiate_into(
+        &self,
+        masks: &[Vec<bool>],
+        union: &mut Vec<bool>,
+        out: &mut KernelDesc,
+    ) {
         debug_assert_eq!(
             masks.len() as u64,
             self.batch,
             "mask count != planned batch"
         );
-        self.price(masks)
+        self.price_into(masks, union, out);
     }
 
     /// Prices the template for `seqs` concurrent sequences sharing the
@@ -258,6 +281,23 @@ impl MaskedUKernel {
     /// # Panics
     /// Asserts that `masks.len() == seqs × batch`.
     pub fn instantiate_batch(&self, masks: &[Vec<bool>], seqs: usize) -> KernelDesc {
+        let mut out = KernelDesc::builder(String::new(), KernelKind::Sgemv).build();
+        self.instantiate_batch_into(masks, seqs, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// [`instantiate_batch`](Self::instantiate_batch) into a recycled
+    /// descriptor — the zero-allocation form for the serving gangs.
+    ///
+    /// # Panics
+    /// Asserts that `masks.len() == seqs × batch`.
+    pub fn instantiate_batch_into(
+        &self,
+        masks: &[Vec<bool>],
+        seqs: usize,
+        union: &mut Vec<bool>,
+        out: &mut KernelDesc,
+    ) {
         assert_eq!(
             masks.len() as u64,
             self.batch * seqs as u64,
@@ -266,12 +306,17 @@ impl MaskedUKernel {
             seqs,
             self.batch
         );
-        self.price(masks)
+        self.price_into(masks, union, out);
     }
 
-    fn price(&self, masks: &[Vec<bool>]) -> KernelDesc {
+    /// Writes the priced descriptor field by field into `out`, reusing
+    /// its label and access-list buffers. Mirrors the
+    /// [`KernelDesc::builder`] semantics exactly (zero-byte accesses are
+    /// dropped, thread counts saturate, divergence/derate are clamped) so
+    /// the result is value-equal to an eagerly built descriptor.
+    fn price_into(&self, masks: &[Vec<bool>], union: &mut Vec<bool>, out: &mut KernelDesc) {
         let (g, h, t) = (self.gates, self.hidden, masks.len() as u64);
-        let union = union_active(masks);
+        union_active_into(masks, union);
         let union_rows = union.iter().filter(|&&a| a).count() as u64;
         let active_total: u64 = masks
             .iter()
@@ -286,23 +331,43 @@ impl MaskedUKernel {
         let cost = skip_cost(self.mode, mean_skip);
         let union_bytes = g * union_rows * h * F32;
         let act_bytes = t * h * F32;
-        let kind = if t > 1 {
+        let write_bytes = t * g * h * F32;
+        let smem = g * active_total * h * F32 + if self.smem_includes_act { act_bytes } else { 0 };
+        out.label.clone_from(&self.label);
+        out.kind = if t > 1 {
             KernelKind::Sgemm
         } else {
             KernelKind::Sgemv
         };
-        let smem = g * active_total * h * F32 + if self.smem_includes_act { act_bytes } else { 0 };
-        KernelDesc::builder(self.label.clone(), kind)
-            .flops(2 * g * active_total * h)
-            .read(self.u_region, union_bytes)
-            .read(self.h_region, act_bytes)
-            .write(self.out_region, t * g * h * F32)
-            .smem(smem)
-            .threads(g * h * t, 256)
-            .divergence(cost.divergence)
-            .dram_derate(cost.dram_derate)
-            .skips(g * skipped_total, cost.uses_crm)
-            .build()
+        out.flops = 2 * g * active_total * h;
+        out.reads.clear();
+        if union_bytes > 0 {
+            out.reads.push(MemAccess {
+                region: self.u_region,
+                bytes: union_bytes,
+            });
+        }
+        if act_bytes > 0 {
+            out.reads.push(MemAccess {
+                region: self.h_region,
+                bytes: act_bytes,
+            });
+        }
+        out.writes.clear();
+        if write_bytes > 0 {
+            out.writes.push(MemAccess {
+                region: self.out_region,
+                bytes: write_bytes,
+            });
+        }
+        out.smem_bytes = smem;
+        out.threads = u32::try_from(g * h * t).unwrap_or(u32::MAX);
+        out.cta_size = 256;
+        out.divergence = cost.divergence.max(1.0);
+        out.skipped_threads = u32::try_from(g * skipped_total).unwrap_or(u32::MAX);
+        out.uses_crm = cost.uses_crm;
+        out.dram_derate = cost.dram_derate.clamp(1e-3, 1.0);
+        out.fused = u32::try_from(g).unwrap_or(u32::MAX).max(1);
     }
 }
 
@@ -600,6 +665,7 @@ impl ExecutionPlan {
             wx.label = format!("Sgemm(W_rzh,x) layer{l}");
             wx.flops = wx.flops * 3 / 4;
             wx.smem_bytes = wx.smem_bytes * 3 / 4;
+            wx.fused = 3;
             crate::gru_exec::scale_weight_reads(&mut wx, 3, 4);
             let cells = (0..seq_len)
                 .map(|t| {
@@ -682,7 +748,23 @@ pub struct PlanOutput {
     pub layer_skips: Vec<SkipStats>,
 }
 
+impl Default for PlanOutput {
+    fn default() -> Self {
+        Self {
+            layer_hs: Vec::new(),
+            logits: Vector::zeros(0),
+            layer_skips: Vec::new(),
+        }
+    }
+}
+
 impl PlanOutput {
+    /// An empty output shell for the `_into` runtime entry points; the
+    /// buffers grow on first run and are recycled afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Mean skip fraction across every masked cell of the run.
     pub fn mean_skip_fraction(&self) -> f64 {
         let sum: f64 = self.layer_skips.iter().map(|s| s.sum).sum();
@@ -697,13 +779,15 @@ impl PlanOutput {
 
 /// Executes [`ExecutionPlan`]s over streaming inputs.
 ///
-/// The runtime owns the transient per-timestep `(h, c)` slots and reuses
-/// them across executions, so a plan-once / evaluate-many loop performs
-/// no per-run planning work and no repeated buffer growth.
+/// The runtime owns a [`Workspace`] — the fused gate slabs, `(h, c)`
+/// double buffers, per-timestep slots, and mask scratch — and the
+/// pre-activation buffers, reusing all of them across executions. A warm
+/// plan-once / evaluate-many loop performs no per-run planning work and
+/// zero heap allocations per steady-state timestep.
 #[derive(Debug, Default)]
 pub struct PlanRuntime {
-    h_slots: Vec<Option<Vector>>,
-    c_slots: Vec<Option<Vector>>,
+    wx: Vec<GatePreacts>,
+    ws: Workspace,
 }
 
 impl PlanRuntime {
@@ -713,6 +797,9 @@ impl PlanRuntime {
     }
 
     /// Executes an LSTM plan on `xs`, streaming kernels into `sink`.
+    ///
+    /// Allocating convenience wrapper over
+    /// [`run_lstm_into`](Self::run_lstm_into).
     ///
     /// # Panics
     /// Panics if `xs` is empty, if its length differs from the plan's
@@ -725,6 +812,26 @@ impl PlanRuntime {
         xs: &[Vector],
         sink: &mut impl KernelSink,
     ) -> PlanOutput {
+        let mut out = PlanOutput::new();
+        self.run_lstm_into(plan, net, xs, sink, &mut out);
+        out
+    }
+
+    /// [`run_lstm`](Self::run_lstm) into a recycled [`PlanOutput`]: the
+    /// per-layer hidden sequences, logits, and skip statistics are
+    /// overwritten in place, reusing their buffers. Bit-identical
+    /// numerics and an identical kernel stream.
+    ///
+    /// # Panics
+    /// As [`run_lstm`](Self::run_lstm).
+    pub fn run_lstm_into(
+        &mut self,
+        plan: &ExecutionPlan,
+        net: &LstmNetwork,
+        xs: &[Vector],
+        sink: &mut impl KernelSink,
+        out: &mut PlanOutput,
+    ) {
         assert!(!xs.is_empty(), "PlanRuntime::run_lstm: empty input");
         assert_eq!(
             xs.len(),
@@ -742,29 +849,39 @@ impl PlanRuntime {
             "plan/network layer count mismatch"
         );
 
-        let mut layer_hs = Vec::with_capacity(layer_plans.len());
-        let mut layer_skips = Vec::with_capacity(layer_plans.len());
-        let mut current: Vec<Vector> = xs.to_vec();
+        out.layer_hs.resize_with(layer_plans.len(), Vec::new);
+        out.layer_skips.clear();
+        out.layer_skips
+            .resize(layer_plans.len(), SkipStats::default());
         for (l, (lp, layer)) in layer_plans.iter().zip(net.layers()).enumerate() {
             sink.begin_layer(l);
             sink.tag(SpanTag::wx(l));
-            sink.emit(lp.wx.clone());
-            let wx = layer.precompute_wx(&current);
-            let mut skips = SkipStats::default();
-            let hs = self.execute_lstm_body(l, &lp.body, layer.weights(), &wx, sink, &mut skips);
-            current = hs.clone();
-            layer_hs.push(hs);
-            layer_skips.push(skips);
+            sink.emit(&lp.wx);
+            let (done, rest) = out.layer_hs.split_at_mut(l);
+            let current: &[Vector] = if l == 0 { xs } else { &done[l - 1] };
+            layer
+                .weights()
+                .precompute_wx_batch_into(current, &mut self.wx);
+            Self::execute_lstm_body_into(
+                l,
+                &lp.body,
+                layer.weights(),
+                &self.wx,
+                &mut self.ws,
+                sink,
+                &mut out.layer_skips[l],
+                &mut rest[0],
+            );
         }
         sink.begin_tail();
         sink.tag(SpanTag::head());
-        sink.emit(plan.head.clone());
-        let logits = net.apply_head(current.last().expect("non-empty sequence"));
-        PlanOutput {
-            layer_hs,
-            logits,
-            layer_skips,
-        }
+        sink.emit(&plan.head);
+        let h_final = out
+            .layer_hs
+            .last()
+            .and_then(|hs| hs.last())
+            .expect("non-empty sequence");
+        net.apply_head_into(h_final, &mut out.logits);
     }
 
     /// Executes one planned LSTM layer body *numerically only* — no
@@ -778,58 +895,90 @@ impl PlanRuntime {
         wx: &[GatePreacts],
     ) -> Vec<Vector> {
         let mut skips = SkipStats::default();
+        let mut hs = Vec::new();
         // Layer index 0 is a placeholder: the NullSink drops the tags.
-        self.execute_lstm_body(0, body, weights, wx, &mut NullSink, &mut skips)
+        Self::execute_lstm_body_into(
+            0,
+            body,
+            weights,
+            wx,
+            &mut self.ws,
+            &mut NullSink,
+            &mut skips,
+            &mut hs,
+        );
+        hs
     }
 
-    fn execute_lstm_body(
-        &mut self,
+    #[allow(clippy::too_many_arguments)] // internal: the workspace split needs each piece
+    fn execute_lstm_body_into(
         layer: usize,
         body: &LayerBody,
         weights: &CellWeights,
         wx: &[GatePreacts],
+        ws: &mut Workspace,
         sink: &mut impl KernelSink,
         skips: &mut SkipStats,
-    ) -> Vec<Vector> {
+        hs_out: &mut Vec<Vector>,
+    ) {
         let hidden = weights.hidden();
         match body {
             LayerBody::Baseline { cells } => {
                 assert_eq!(cells.len(), wx.len(), "plan/input length mismatch");
-                let mut h = Vector::zeros(hidden);
-                let mut c = Vector::zeros(hidden);
-                let mut hs = Vec::with_capacity(wx.len());
+                ws.h.resize_fill(hidden, 0.0);
+                ws.c.resize_fill(hidden, 0.0);
+                hs_out.resize_with(wx.len(), || Vector::zeros(0));
                 for (t, (cell, pre)) in cells.iter().zip(wx).enumerate() {
                     sink.tag(SpanTag::cells(layer, t));
-                    sink.emit(cell.sgemv.clone());
-                    let (h_next, c_next) = weights.step(pre, &h, &c);
-                    h = h_next;
-                    c = c_next;
-                    hs.push(h.clone());
-                    sink.emit(cell.ew.clone());
+                    sink.emit(&cell.sgemv);
+                    weights.step_fused_into(
+                        pre,
+                        &ws.h,
+                        &ws.c,
+                        &mut ws.cell,
+                        &mut ws.h_next,
+                        &mut ws.c_next,
+                    );
+                    mem::swap(&mut ws.h, &mut ws.h_next);
+                    mem::swap(&mut ws.c, &mut ws.c_next);
+                    hs_out[t].clone_from(&ws.h);
+                    sink.emit(&cell.ew);
                 }
-                hs
             }
             LayerBody::Drs { alpha_intra, cells } => {
                 assert_eq!(cells.len(), wx.len(), "plan/input length mismatch");
-                let mut h = Vector::zeros(hidden);
-                let mut c = Vector::zeros(hidden);
-                let mut hs = Vec::with_capacity(wx.len());
+                ws.h.resize_fill(hidden, 0.0);
+                ws.c.resize_fill(hidden, 0.0);
+                hs_out.resize_with(wx.len(), || Vector::zeros(0));
                 for (t, (cell, pre)) in cells.iter().zip(wx).enumerate() {
                     sink.tag(SpanTag::cells(layer, t));
-                    sink.emit(cell.uo.clone());
-                    sink.emit(cell.gate_ew.clone());
-                    let o = weights.output_gate(&pre.o, &h);
-                    sink.emit(cell.select.clone());
-                    let active = trivial_row_mask(&o, *alpha_intra);
-                    skips.push(skip_fraction(&active));
-                    sink.emit(cell.masked.instantiate(std::slice::from_ref(&active)));
-                    sink.emit(cell.ew.clone());
-                    let (h_next, c_next) = weights.step_masked(pre, &h, &c, &o, &active);
-                    h = h_next;
-                    c = c_next;
-                    hs.push(h.clone());
+                    sink.emit(&cell.uo);
+                    sink.emit(&cell.gate_ew);
+                    weights.output_gate_into(&pre.o, &ws.h, &mut ws.cell, &mut ws.gate);
+                    sink.emit(&cell.select);
+                    trivial_row_mask_into(&ws.gate, *alpha_intra, &mut ws.active);
+                    skips.push(skip_fraction(&ws.active));
+                    cell.masked.instantiate_into(
+                        std::slice::from_ref(&ws.active),
+                        &mut ws.union_mask,
+                        &mut ws.masked_desc,
+                    );
+                    sink.emit(&ws.masked_desc);
+                    sink.emit(&cell.ew);
+                    weights.step_masked_into(
+                        pre,
+                        &ws.h,
+                        &ws.c,
+                        &ws.gate,
+                        &ws.active,
+                        &mut ws.cell,
+                        &mut ws.h_next,
+                        &mut ws.c_next,
+                    );
+                    mem::swap(&mut ws.h, &mut ws.h_next);
+                    mem::swap(&mut ws.c, &mut ws.c_next);
+                    hs_out[t].clone_from(&ws.h);
                 }
-                hs
             }
             LayerBody::Tissues {
                 search,
@@ -840,42 +989,89 @@ impl PlanRuntime {
                 tissues,
             } => {
                 sink.tag(SpanTag::offline(layer));
-                sink.emit(search.clone());
+                sink.emit(search);
                 if let Some(k) = link {
-                    sink.emit(k.clone());
+                    sink.emit(k);
                 }
                 let n = wx.len();
-                self.h_slots.clear();
-                self.h_slots.resize(n, None);
-                self.c_slots.clear();
-                self.c_slots.resize(n, None);
+                let Workspace {
+                    cell,
+                    gate: _,
+                    os,
+                    masks,
+                    union_mask,
+                    masked_desc,
+                    h_slots,
+                    c_slots,
+                    filled,
+                    zero_h,
+                    zero_c,
+                    ..
+                } = ws;
+                zero_h.resize_fill(hidden, 0.0);
+                zero_c.resize_fill(hidden, 0.0);
+                h_slots.resize_with(n, || Vector::zeros(0));
+                c_slots.resize_with(n, || Vector::zeros(0));
+                filled.clear();
+                filled.resize(n, false);
                 for (k, tp) in tissues.iter().enumerate() {
                     sink.tag(SpanTag::tissue(layer, k, tp.sublayers.first().copied()));
-                    let prev: Vec<(Vector, Vector)> = tp
-                        .cells
-                        .iter()
-                        .zip(&tp.prev)
-                        .map(|(&t, src)| match src {
-                            PrevSource::Zeros => (Vector::zeros(hidden), Vector::zeros(hidden)),
-                            PrevSource::Predicted => (predicted_h.clone(), predicted_c.clone()),
-                            PrevSource::Prior => (
-                                self.h_slots[t - 1]
-                                    .clone()
-                                    .expect("schedule guarantees the predecessor already ran"),
-                                self.c_slots[t - 1]
-                                    .clone()
-                                    .expect("schedule guarantees the predecessor already ran"),
-                            ),
-                        })
-                        .collect();
+                    // The schedule guarantees every Prior predecessor was
+                    // produced by an *earlier* tissue; check up front so
+                    // the in-place slot writes below cannot mask a
+                    // malformed plan.
+                    for (&t, src) in tp.cells.iter().zip(&tp.prev) {
+                        if matches!(src, PrevSource::Prior) {
+                            assert!(
+                                filled[t - 1],
+                                "schedule guarantees the predecessor already ran"
+                            );
+                        }
+                    }
                     match &tp.kernels {
                         TissueKernels::Plain { sgemm, ew } => {
-                            sink.emit(sgemm.clone());
-                            sink.emit(ew.clone());
-                            for (&t, (h_prev, c_prev)) in tp.cells.iter().zip(&prev) {
-                                let (h, c) = weights.step(&wx[t], h_prev, c_prev);
-                                self.h_slots[t] = Some(h);
-                                self.c_slots[t] = Some(c);
+                            sink.emit(sgemm);
+                            sink.emit(ew);
+                            for (&t, src) in tp.cells.iter().zip(&tp.prev) {
+                                match src {
+                                    PrevSource::Zeros => {
+                                        let (_, rest_h) = h_slots.split_at_mut(t);
+                                        let (_, rest_c) = c_slots.split_at_mut(t);
+                                        weights.step_fused_into(
+                                            &wx[t],
+                                            zero_h,
+                                            zero_c,
+                                            cell,
+                                            &mut rest_h[0],
+                                            &mut rest_c[0],
+                                        );
+                                    }
+                                    PrevSource::Predicted => {
+                                        let (_, rest_h) = h_slots.split_at_mut(t);
+                                        let (_, rest_c) = c_slots.split_at_mut(t);
+                                        weights.step_fused_into(
+                                            &wx[t],
+                                            predicted_h,
+                                            predicted_c,
+                                            cell,
+                                            &mut rest_h[0],
+                                            &mut rest_c[0],
+                                        );
+                                    }
+                                    PrevSource::Prior => {
+                                        let (done_h, rest_h) = h_slots.split_at_mut(t);
+                                        let (done_c, rest_c) = c_slots.split_at_mut(t);
+                                        weights.step_fused_into(
+                                            &wx[t],
+                                            &done_h[t - 1],
+                                            &done_c[t - 1],
+                                            cell,
+                                            &mut rest_h[0],
+                                            &mut rest_c[0],
+                                        );
+                                    }
+                                }
+                                filled[t] = true;
                             }
                         }
                         TissueKernels::Drs {
@@ -885,43 +1081,89 @@ impl PlanRuntime {
                             masked,
                             ew,
                         } => {
-                            sink.emit(uo.clone());
-                            sink.emit(gate_ew.clone());
-                            sink.emit(select.clone());
-                            let os: Vec<Vector> = tp
-                                .cells
-                                .iter()
-                                .zip(&prev)
-                                .map(|(&t, (h_prev, _))| weights.output_gate(&wx[t].o, h_prev))
-                                .collect();
-                            let masks: Vec<Vec<bool>> = os
-                                .iter()
-                                .map(|o| trivial_row_mask(o, *alpha_intra))
-                                .collect();
-                            for mask in &masks {
+                            sink.emit(uo);
+                            sink.emit(gate_ew);
+                            sink.emit(select);
+                            os.resize_with(tp.cells.len(), || Vector::zeros(0));
+                            masks.resize_with(tp.cells.len(), Vec::new);
+                            for (i, (&t, src)) in tp.cells.iter().zip(&tp.prev).enumerate() {
+                                let h_prev = match src {
+                                    PrevSource::Zeros => &*zero_h,
+                                    PrevSource::Predicted => predicted_h,
+                                    PrevSource::Prior => &h_slots[t - 1],
+                                };
+                                weights.output_gate_into(&wx[t].o, h_prev, cell, &mut os[i]);
+                                trivial_row_mask_into(&os[i], *alpha_intra, &mut masks[i]);
+                            }
+                            for mask in masks.iter() {
                                 skips.push(skip_fraction(mask));
                             }
-                            sink.emit(masked.instantiate(&masks));
-                            sink.emit(ew.clone());
-                            for (((&t, (h_prev, c_prev)), o), mask) in
-                                tp.cells.iter().zip(&prev).zip(&os).zip(&masks)
-                            {
-                                let (h, c) = weights.step_masked(&wx[t], h_prev, c_prev, o, mask);
-                                self.h_slots[t] = Some(h);
-                                self.c_slots[t] = Some(c);
+                            masked.instantiate_into(masks, union_mask, masked_desc);
+                            sink.emit(masked_desc);
+                            sink.emit(ew);
+                            for (i, (&t, src)) in tp.cells.iter().zip(&tp.prev).enumerate() {
+                                match src {
+                                    PrevSource::Zeros => {
+                                        let (_, rest_h) = h_slots.split_at_mut(t);
+                                        let (_, rest_c) = c_slots.split_at_mut(t);
+                                        weights.step_masked_into(
+                                            &wx[t],
+                                            zero_h,
+                                            zero_c,
+                                            &os[i],
+                                            &masks[i],
+                                            cell,
+                                            &mut rest_h[0],
+                                            &mut rest_c[0],
+                                        );
+                                    }
+                                    PrevSource::Predicted => {
+                                        let (_, rest_h) = h_slots.split_at_mut(t);
+                                        let (_, rest_c) = c_slots.split_at_mut(t);
+                                        weights.step_masked_into(
+                                            &wx[t],
+                                            predicted_h,
+                                            predicted_c,
+                                            &os[i],
+                                            &masks[i],
+                                            cell,
+                                            &mut rest_h[0],
+                                            &mut rest_c[0],
+                                        );
+                                    }
+                                    PrevSource::Prior => {
+                                        let (done_h, rest_h) = h_slots.split_at_mut(t);
+                                        let (done_c, rest_c) = c_slots.split_at_mut(t);
+                                        weights.step_masked_into(
+                                            &wx[t],
+                                            &done_h[t - 1],
+                                            &done_c[t - 1],
+                                            &os[i],
+                                            &masks[i],
+                                            cell,
+                                            &mut rest_h[0],
+                                            &mut rest_c[0],
+                                        );
+                                    }
+                                }
+                                filled[t] = true;
                             }
                         }
                     }
                 }
-                self.h_slots
-                    .iter_mut()
-                    .map(|h| h.take().expect("every cell scheduled exactly once"))
-                    .collect()
+                hs_out.resize_with(n, || Vector::zeros(0));
+                for t in 0..n {
+                    assert!(filled[t], "every cell scheduled exactly once");
+                    mem::swap(&mut hs_out[t], &mut h_slots[t]);
+                }
             }
         }
     }
 
     /// Executes a GRU plan on `xs`, streaming kernels into `sink`.
+    ///
+    /// Allocating convenience wrapper over
+    /// [`run_gru_into`](Self::run_gru_into).
     ///
     /// # Panics
     /// Panics if `xs` is empty, if its length differs from the plan's
@@ -934,6 +1176,24 @@ impl PlanRuntime {
         xs: &[Vector],
         sink: &mut impl KernelSink,
     ) -> PlanOutput {
+        let mut out = PlanOutput::new();
+        self.run_gru_into(plan, net, xs, sink, &mut out);
+        out
+    }
+
+    /// [`run_gru`](Self::run_gru) into a recycled [`PlanOutput`].
+    /// Bit-identical numerics and an identical kernel stream.
+    ///
+    /// # Panics
+    /// As [`run_gru`](Self::run_gru).
+    pub fn run_gru_into(
+        &mut self,
+        plan: &ExecutionPlan,
+        net: &GruNetwork,
+        xs: &[Vector],
+        sink: &mut impl KernelSink,
+        out: &mut PlanOutput,
+    ) {
         assert!(!xs.is_empty(), "PlanRuntime::run_gru: empty input");
         assert_eq!(
             xs.len(),
@@ -952,72 +1212,94 @@ impl PlanRuntime {
         );
 
         let hidden = net.hidden();
-        let mut layer_hs = Vec::with_capacity(layer_plans.len());
-        let mut layer_skips = Vec::with_capacity(layer_plans.len());
-        let mut current: Vec<Vector> = xs.to_vec();
+        out.layer_hs.resize_with(layer_plans.len(), Vec::new);
+        out.layer_skips.clear();
+        out.layer_skips
+            .resize(layer_plans.len(), SkipStats::default());
         for (l, (lp, layer)) in layer_plans.iter().zip(net.layers()).enumerate() {
             sink.begin_layer(l);
             sink.tag(SpanTag::wx(l));
-            sink.emit(lp.wx.clone());
-            let weights = layer.weights();
-            let mut skips = SkipStats::default();
-            let hs =
-                Self::execute_gru_body(l, &lp.body, weights, hidden, &current, sink, &mut skips);
-            current = hs.clone();
-            layer_hs.push(hs);
-            layer_skips.push(skips);
+            sink.emit(&lp.wx);
+            let (done, rest) = out.layer_hs.split_at_mut(l);
+            let current: &[Vector] = if l == 0 { xs } else { &done[l - 1] };
+            Self::execute_gru_body_into(
+                l,
+                &lp.body,
+                layer.weights(),
+                hidden,
+                current,
+                &mut self.ws,
+                sink,
+                &mut out.layer_skips[l],
+                &mut rest[0],
+            );
         }
         sink.begin_tail();
         sink.tag(SpanTag::head());
-        sink.emit(plan.head.clone());
-        let logits = net.apply_head(current.last().expect("non-empty sequence"));
-        PlanOutput {
-            layer_hs,
-            logits,
-            layer_skips,
-        }
+        sink.emit(&plan.head);
+        let h_final = out
+            .layer_hs
+            .last()
+            .and_then(|hs| hs.last())
+            .expect("non-empty sequence");
+        net.apply_head_into(h_final, &mut out.logits);
     }
 
-    fn execute_gru_body(
+    #[allow(clippy::too_many_arguments)] // internal: the workspace split needs each piece
+    fn execute_gru_body_into(
         layer: usize,
         body: &GruLayerBody,
         weights: &GruWeights,
         hidden: usize,
         xs: &[Vector],
+        ws: &mut Workspace,
         sink: &mut impl KernelSink,
         skips: &mut SkipStats,
-    ) -> Vec<Vector> {
+        hs_out: &mut Vec<Vector>,
+    ) {
         match body {
             GruLayerBody::Baseline { cells } => {
                 assert_eq!(cells.len(), xs.len(), "plan/input length mismatch");
-                let mut h = Vector::zeros(hidden);
-                let mut hs = Vec::with_capacity(xs.len());
+                ws.h.resize_fill(hidden, 0.0);
+                hs_out.resize_with(xs.len(), || Vector::zeros(0));
                 for (t, (cell, x)) in cells.iter().zip(xs).enumerate() {
                     sink.tag(SpanTag::cells(layer, t));
-                    sink.emit(cell.sgemv.clone());
-                    h = weights.step(x, &h);
-                    hs.push(h.clone());
-                    sink.emit(cell.ew.clone());
+                    sink.emit(&cell.sgemv);
+                    weights.step_into(x, &ws.h, &mut ws.gru, &mut ws.h_next);
+                    mem::swap(&mut ws.h, &mut ws.h_next);
+                    hs_out[t].clone_from(&ws.h);
+                    sink.emit(&cell.ew);
                 }
-                hs
             }
             GruLayerBody::Drs { alpha_intra, cells } => {
                 assert_eq!(cells.len(), xs.len(), "plan/input length mismatch");
-                let mut h = Vector::zeros(hidden);
-                let mut hs = Vec::with_capacity(xs.len());
+                ws.h.resize_fill(hidden, 0.0);
+                hs_out.resize_with(xs.len(), || Vector::zeros(0));
                 for (t, (cell, x)) in cells.iter().zip(xs).enumerate() {
                     sink.tag(SpanTag::cells(layer, t));
-                    sink.emit(cell.uz.clone());
-                    let z = weights.update_gate(x, &h);
-                    sink.emit(cell.select.clone());
-                    let active = trivial_row_mask(&z, *alpha_intra);
-                    skips.push(skip_fraction(&active));
-                    sink.emit(cell.masked.instantiate(std::slice::from_ref(&active)));
-                    sink.emit(cell.ew.clone());
-                    h = weights.step_masked(x, &h, &z, &active);
-                    hs.push(h.clone());
+                    sink.emit(&cell.uz);
+                    weights.update_gate_into(x, &ws.h, &mut ws.gru, &mut ws.gate);
+                    sink.emit(&cell.select);
+                    trivial_row_mask_into(&ws.gate, *alpha_intra, &mut ws.active);
+                    skips.push(skip_fraction(&ws.active));
+                    cell.masked.instantiate_into(
+                        std::slice::from_ref(&ws.active),
+                        &mut ws.union_mask,
+                        &mut ws.masked_desc,
+                    );
+                    sink.emit(&ws.masked_desc);
+                    sink.emit(&cell.ew);
+                    weights.step_masked_into(
+                        x,
+                        &ws.h,
+                        &ws.gate,
+                        &ws.active,
+                        &mut ws.gru,
+                        &mut ws.h_next,
+                    );
+                    mem::swap(&mut ws.h, &mut ws.h_next);
+                    hs_out[t].clone_from(&ws.h);
                 }
-                hs
             }
         }
     }

@@ -69,6 +69,7 @@ pub fn wx_sgemm_kernel(
         .write(alloc.fresh(), out_bytes)
         .smem(gemm_smem_bytes(w_bytes, x_bytes, seq_len))
         .threads(4 * h * n, 256)
+        .fused(4)
         .build()
 }
 
@@ -91,6 +92,9 @@ pub fn u_sgemv_kernel(
         .write(alloc.fresh(), r * F32)
         .smem(u_bytes + h * F32)
         .threads(r, 256)
+        // One launch covers rows/hidden stacked gate matrices (4 for
+        // U_fico, 3 for U_rzh, 1 for a single hoisted gate).
+        .fused(u32::try_from(r.checked_div(h).unwrap_or(1)).unwrap_or(1))
         .build()
 }
 
@@ -114,6 +118,7 @@ pub fn tissue_sgemm_kernel(
         .write(alloc.fresh(), t * 4 * h * F32)
         .smem(gemm_smem_bytes(u_bytes, h_bytes, tissue_size))
         .threads(4 * h * t, 256)
+        .fused(4)
         .build()
 }
 

@@ -25,7 +25,8 @@ use crate::error::{Error, MemlstmResult};
 use gpu_sim::{DeviceModel, GpuDevice};
 use lstm::batch::BatchRuntime;
 use lstm::network::LstmNetwork;
-use lstm::plan::{ExecutionPlan, PlanBody};
+use lstm::plan::{ExecutionPlan, PlanBody, PlanOutput};
+use std::mem;
 use tensor::Vector;
 
 /// Tunables for the serve engine.
@@ -134,6 +135,12 @@ pub struct ServeEngine<'a> {
     rounds: Vec<RoundReport>,
     completed: Vec<Completion>,
     runtime: BatchRuntime,
+    /// Gang input slots, recycled across rounds (requests' sequences are
+    /// moved in rather than cloned).
+    seqs: Vec<Vec<Vector>>,
+    /// Per-sequence outputs, recycled across rounds by
+    /// [`BatchRuntime::run_lstm_batch_into`].
+    outs: Vec<PlanOutput>,
     clock_s: f64,
     submitted: u64,
 }
@@ -178,6 +185,8 @@ impl<'a> ServeEngine<'a> {
             rounds: Vec::new(),
             completed: Vec::new(),
             runtime: BatchRuntime::new(),
+            seqs: Vec::new(),
+            outs: Vec::new(),
             clock_s: 0.0,
             submitted: 0,
         })
@@ -275,21 +284,31 @@ impl<'a> ServeEngine<'a> {
             da.total_cmp(&db).then(a.seq.cmp(&b.seq))
         });
 
-        let seqs: Vec<Vec<Vector>> = gang.iter().map(|p| p.request.xs.clone()).collect();
+        // The gang is consumed this round, so its sequences move into the
+        // recycled input slots instead of being cloned.
+        self.seqs.clear();
+        self.seqs
+            .extend(gang.iter_mut().map(|p| mem::take(&mut p.request.xs)));
+        // A fresh device per round is deliberate: every round is priced
+        // from a cold cache, so round times are order-independent.
         let mut device = GpuDevice::for_model(&self.config.device);
         let mut session = device.begin_trace();
-        let outputs = self
-            .runtime
-            .run_lstm_batch(self.plan, self.net, &seqs, &mut session);
+        self.runtime.run_lstm_batch_into(
+            self.plan,
+            self.net,
+            &self.seqs,
+            &mut session,
+            &mut self.outs,
+        );
         let report = session.finish();
 
         let start_s = self.clock_s;
         self.clock_s += report.time_s;
         let batch = gang.len();
-        for (pending, output) in gang.iter().zip(outputs) {
+        for (pending, output) in gang.iter().zip(&self.outs) {
             self.completed.push(Completion {
                 id: pending.request.id,
-                logits: output.logits,
+                logits: output.logits.clone(),
                 finish_s: self.clock_s,
                 latency_s: self.clock_s - pending.request.arrival_s,
                 batch,

@@ -169,10 +169,39 @@ pub fn sgemm_masked(a: &Matrix, b: &Matrix, active: &[bool], skipped_value: f32)
 /// # Panics
 /// Panics if shapes are incompatible.
 pub fn sgemv_bias(a: &Matrix, x: &Vector, b: &Vector) -> Vector {
-    assert_eq!(b.len(), a.rows(), "sgemv_bias: bias length mismatch");
-    let mut y = sgemv(a, x);
-    y.axpy(1.0, b);
+    let mut y = Vector::zeros(a.rows());
+    sgemv_bias_into(a, x, b, &mut y);
     y
+}
+
+/// [`sgemv`] writing into a caller-recycled vector (resized to `rows`,
+/// reusing its buffer once warm). Bit-identical to [`sgemv`].
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()`.
+pub fn sgemv_into(a: &Matrix, x: &Vector, out: &mut Vector) {
+    assert_eq!(
+        x.len(),
+        a.cols(),
+        "sgemv: x length {} != cols {}",
+        x.len(),
+        a.cols()
+    );
+    out.resize_fill(a.rows(), 0.0);
+    for (r, o) in out.as_mut_slice().iter_mut().enumerate() {
+        *o = dot_row(a.row(r), x.as_slice());
+    }
+}
+
+/// [`sgemv_bias`] writing into a caller-recycled vector. Bit-identical
+/// to [`sgemv_bias`].
+///
+/// # Panics
+/// Panics if shapes are incompatible.
+pub fn sgemv_bias_into(a: &Matrix, x: &Vector, b: &Vector, out: &mut Vector) {
+    assert_eq!(b.len(), a.rows(), "sgemv_bias: bias length mismatch");
+    sgemv_into(a, x, out);
+    out.axpy(1.0, b);
 }
 
 /// Number of floating-point operations a dense GEMV performs

@@ -117,6 +117,22 @@ impl PackedMatrix {
     /// # Panics
     /// Panics if any `xs[i].len() != cols`.
     pub fn gemv_batch(&self, xs: &[Vector]) -> Vec<Vector> {
+        let mut ys: Vec<Vector> = xs.iter().map(|_| Vector::zeros(self.rows)).collect();
+        self.gemv_batch_into(xs, &mut ys);
+        ys
+    }
+
+    /// [`gemv_batch`](Self::gemv_batch) writing into caller-provided
+    /// vectors, so a steady-state serving loop can recycle its output
+    /// buffers instead of allocating one `Vec<Vector>` per round.
+    ///
+    /// Each output vector is resized to `rows` (reusing its existing
+    /// heap buffer once warm). Column `i` of the result is bit-identical
+    /// to `self.gemv(&xs[i])`.
+    ///
+    /// # Panics
+    /// Panics if `outs.len() != xs.len()` or any `xs[i].len() != cols`.
+    pub fn gemv_batch_into(&self, xs: &[Vector], outs: &mut [Vector]) {
         for (i, x) in xs.iter().enumerate() {
             assert_eq!(
                 x.len(),
@@ -126,23 +142,29 @@ impl PackedMatrix {
                 self.cols
             );
         }
-        let mut ys: Vec<Vector> = xs.iter().map(|_| Vector::zeros(self.rows)).collect();
+        assert_eq!(
+            outs.len(),
+            xs.len(),
+            "PackedMatrix::gemv_batch_into: output count mismatch"
+        );
+        for y in outs.iter_mut() {
+            y.resize_fill(self.rows, 0.0);
+        }
         let panels = self.rows.div_ceil(MR);
         for p in 0..panels {
             let panel = &self.data[p * MR * self.cols..(p + 1) * MR * self.cols];
             let live = MR.min(self.rows - p * MR);
-            for (x, y) in xs.iter().zip(ys.iter_mut()) {
+            for (x, y) in xs.iter().zip(outs.iter_mut()) {
                 let sum = panel_gemv(panel, self.cols, x.as_slice());
                 y.as_mut_slice()[p * MR..p * MR + live].copy_from_slice(&sum[..live]);
             }
         }
-        ys
     }
 }
 
 /// One panel's matrix-vector micro-kernel: `MR` rows at once, four phase
 /// accumulators per row in the reference association order.
-fn panel_gemv(panel: &[f32], cols: usize, x: &[f32]) -> [f32; MR] {
+pub(crate) fn panel_gemv(panel: &[f32], cols: usize, x: &[f32]) -> [f32; MR] {
     let chunks = cols / 4;
     let mut acc = [[0.0f32; MR]; 4];
     for i in 0..chunks {
@@ -169,9 +191,29 @@ fn panel_gemv(panel: &[f32], cols: usize, x: &[f32]) -> [f32; MR] {
 }
 
 thread_local! {
-    /// Scratch panel for the gather-based masked kernel, reused across
-    /// calls so the hot per-timestep path never allocates.
-    static GATHER_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Fallback scratch for the legacy no-scratch signature, reused
+    /// across calls so that path still never allocates once warm.
+    static GATHER_SCRATCH: RefCell<GatherScratch> =
+        const { RefCell::new(GatherScratch { panel: Vec::new() }) };
+}
+
+/// Reusable scratch for [`sgemv_masked_gather_into`]: the dense gather
+/// panel the active rows are transposed into.
+///
+/// Owning one of these (e.g. inside a runtime workspace) lets callers
+/// thread an explicit buffer through the masked kernel instead of
+/// relying on the thread-local fallback — the buffer grows to the
+/// largest `MR * cols` seen and is then reused allocation-free.
+#[derive(Debug, Default)]
+pub struct GatherScratch {
+    pub(crate) panel: Vec<f32>,
+}
+
+impl GatherScratch {
+    /// Creates an empty scratch; the panel grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Row-masked matrix-vector product via *gather*: the skip list's active
@@ -183,29 +225,62 @@ thread_local! {
 /// same dot product in the same association order), and to the dense
 /// kernels when every row is active.
 ///
+/// This signature borrows a thread-local [`GatherScratch`]; use
+/// [`sgemv_masked_gather_into`] to supply your own scratch and output.
+///
 /// # Panics
 /// Panics if `x.len() != a.cols()` or `active.len() != a.rows()`.
 pub fn sgemv_masked_gather(a: &Matrix, x: &Vector, active: &[bool], skipped_value: f32) -> Vector {
+    let mut y = Vector::zeros(a.rows());
+    GATHER_SCRATCH.with(|scratch| {
+        sgemv_masked_gather_into(
+            a,
+            x,
+            active,
+            skipped_value,
+            &mut scratch.borrow_mut(),
+            y.as_mut_slice(),
+        );
+    });
+    y
+}
+
+/// [`sgemv_masked_gather`] with a caller-owned scratch and output slice,
+/// for steady-state loops that must not touch the allocator (the scratch
+/// panel is grown once and reused; `out` is fully overwritten).
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()`, `active.len() != a.rows()`, or
+/// `out.len() != a.rows()`.
+pub fn sgemv_masked_gather_into(
+    a: &Matrix,
+    x: &Vector,
+    active: &[bool],
+    skipped_value: f32,
+    scratch: &mut GatherScratch,
+    out: &mut [f32],
+) {
     assert_eq!(x.len(), a.cols(), "sgemv_masked_gather: x length mismatch");
     assert_eq!(
         active.len(),
         a.rows(),
         "sgemv_masked_gather: mask length mismatch"
     );
+    assert_eq!(
+        out.len(),
+        a.rows(),
+        "sgemv_masked_gather: out length mismatch"
+    );
     let cols = a.cols();
-    let mut y = Vector::filled(a.rows(), skipped_value);
-    let out = y.as_mut_slice();
-    GATHER_SCRATCH.with(|scratch| {
-        let mut scratch = scratch.borrow_mut();
-        scratch.clear();
-        scratch.resize(MR * cols, 0.0);
-        let mut gathered: [usize; MR] = [0; MR];
-        let mut rows: [&[f32]; MR] = [&[]; MR];
-        let mut lanes = 0usize;
-        let mut flush = |scratch: &mut [f32],
-                         gathered: &[usize; MR],
-                         rows: &mut [&[f32]; MR],
-                         lanes: &mut usize| {
+    out.fill(skipped_value);
+    let panel = &mut scratch.panel;
+    panel.clear();
+    panel.resize(MR * cols, 0.0);
+    let mut gathered: [usize; MR] = [0; MR];
+    let mut rows: [&[f32]; MR] = [&[]; MR];
+    let mut lanes = 0usize;
+    let mut flush =
+        |panel: &mut [f32], gathered: &[usize; MR], rows: &mut [&[f32]; MR], lanes: &mut usize| {
             if *lanes == 0 {
                 return;
             }
@@ -213,7 +288,7 @@ pub fn sgemv_masked_gather(a: &Matrix, x: &Vector, active: &[bool], skipped_valu
             // the column index outermost: every store is sequential in the
             // scratch buffer, and the reads walk `lanes` parallel streams.
             if *lanes == MR {
-                for (k, chunk) in scratch.chunks_exact_mut(MR).enumerate() {
+                for (k, chunk) in panel.chunks_exact_mut(MR).enumerate() {
                     for (slot, row) in chunk.iter_mut().zip(rows.iter()) {
                         *slot = row[k];
                     }
@@ -222,33 +297,31 @@ pub fn sgemv_masked_gather(a: &Matrix, x: &Vector, active: &[bool], skipped_valu
                 // Partial panel (at most once per call): pad dead lanes
                 // with zeros so the micro-kernel's extra work is
                 // well-defined (the results are discarded).
-                for (k, chunk) in scratch.chunks_exact_mut(MR).enumerate() {
+                for (k, chunk) in panel.chunks_exact_mut(MR).enumerate() {
                     for (slot, row) in chunk.iter_mut().zip(rows.iter().take(*lanes)) {
                         *slot = row[k];
                     }
                     chunk[*lanes..].fill(0.0);
                 }
             }
-            let sum = panel_gemv(scratch, cols, x.as_slice());
+            let sum = panel_gemv(panel, cols, x.as_slice());
             for (lane, &r) in gathered.iter().enumerate().take(*lanes) {
                 out[r] = sum[lane];
             }
             *lanes = 0;
         };
-        for (r, &is_active) in active.iter().enumerate() {
-            if !is_active {
-                continue;
-            }
-            rows[lanes] = a.row(r);
-            gathered[lanes] = r;
-            lanes += 1;
-            if lanes == MR {
-                flush(&mut scratch, &gathered, &mut rows, &mut lanes);
-            }
+    for (r, &is_active) in active.iter().enumerate() {
+        if !is_active {
+            continue;
         }
-        flush(&mut scratch, &gathered, &mut rows, &mut lanes);
-    });
-    y
+        rows[lanes] = a.row(r);
+        gathered[lanes] = r;
+        lanes += 1;
+        if lanes == MR {
+            flush(panel, &gathered, &mut rows, &mut lanes);
+        }
+    }
+    flush(panel, &gathered, &mut rows, &mut lanes);
 }
 
 #[cfg(test)]

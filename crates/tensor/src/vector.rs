@@ -8,9 +8,24 @@ use std::ops::{Index, IndexMut};
 /// `Vector` is the unit of data flowing between LSTM cells: the layer
 /// input `x_t`, the hidden state `h_t`, and the cell state `c_t` are all
 /// vectors (paper Sec. II-B).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, PartialEq, Default)]
 pub struct Vector {
     data: Vec<f32>,
+}
+
+impl Clone for Vector {
+    fn clone(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+        }
+    }
+
+    /// Reuses `self`'s existing heap buffer when it is large enough,
+    /// so `clone_from` in a steady-state loop never allocates. The
+    /// derived impl would fall back to `*self = source.clone()`.
+    fn clone_from(&mut self, source: &Self) {
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl Vector {
@@ -183,6 +198,17 @@ impl Vector {
             data.extend_from_slice(&p.data);
         }
         Vector { data }
+    }
+
+    /// Resets the vector to `len` copies of `value`, reusing the
+    /// existing heap buffer whenever its capacity suffices.
+    ///
+    /// This is the allocation-free steady-state twin of
+    /// [`Vector::filled`]: hot loops call it on a recycled vector
+    /// instead of constructing a fresh one each step.
+    pub fn resize_fill(&mut self, len: usize, value: f32) {
+        self.data.clear();
+        self.data.resize(len, value);
     }
 
     /// Returns the sub-vector `[start, start + len)`.

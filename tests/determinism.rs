@@ -145,6 +145,89 @@ fn batched_execution_is_bit_identical_per_sequence_across_plans() {
     }
 }
 
+/// Workspace recycling must be pure scratch reuse: one runtime instance
+/// carried *dirty* across plans of different shapes (baseline ↔ DRS ↔
+/// tissues) and gangs of different sizes (8 → 1 → 2) must produce the
+/// same bits as a fresh runtime per run. This is the regression test for
+/// the zero-allocation workspaces — stale masks, oversized slabs, or
+/// leftover tissue slots from a previous (larger) run would surface here.
+#[test]
+fn dirty_runtime_reuse_is_bit_identical_to_fresh_runtimes() {
+    use lstm::batch::BatchRuntime;
+    use lstm::plan::{ExecutionPlan, NullSink, PlanRuntime};
+    use memlstm::drs::{DrsConfig, DrsMode};
+    use memlstm::exec::{OptimizedExecutor, OptimizerConfig};
+    use memlstm::prediction::NetworkPredictors;
+
+    let workload = Workload::generate(Benchmark::Mr, 8, 0xD1E7);
+    let net = workload.network();
+    let seqs = workload.eval_set();
+    let predictors = NetworkPredictors::collect(net, workload.dataset().offline());
+    let drs = DrsConfig {
+        alpha_intra: 0.05,
+        mode: DrsMode::Hardware,
+    };
+    let combined = OptimizerConfig::builder()
+        .alpha_inter(1.0)
+        .max_tissue_size(4)
+        .drs(drs)
+        .build();
+    let plans = [
+        ExecutionPlan::compile_baseline(net, seqs[0].len(), &DeviceModel::tegra_x1()),
+        OptimizedExecutor::new(
+            net,
+            &predictors,
+            OptimizerConfig::builder().drs(drs).build(),
+        )
+        .plan(&seqs[0]),
+        OptimizedExecutor::new(net, &predictors, combined).plan(&seqs[0]),
+    ];
+
+    // One shared solo runtime, interleaved across all plan shapes twice.
+    let mut shared = PlanRuntime::new();
+    for pass in 0..2 {
+        for (p, plan) in plans.iter().enumerate() {
+            for (i, xs) in seqs.iter().enumerate() {
+                let reused = shared.run_lstm(plan, net, xs, &mut NullSink);
+                let fresh = PlanRuntime::new().run_lstm(plan, net, xs, &mut NullSink);
+                assert_bits_eq(
+                    &reused.logits,
+                    &fresh.logits,
+                    &format!("pass {pass} plan {p} seq {i} logits"),
+                );
+                assert_eq!(
+                    reused.layer_hs, fresh.layer_hs,
+                    "pass {pass} plan {p} seq {i} hidden states"
+                );
+            }
+        }
+    }
+
+    // One shared batch runtime, shrinking and regrowing the gang so the
+    // per-sequence workspaces and shared mask scratch go stale between
+    // runs.
+    let mut batch_rt = BatchRuntime::new();
+    for (p, plan) in plans.iter().enumerate() {
+        for batch in [8usize, 1, 2] {
+            let gang: Vec<Vec<tensor::Vector>> =
+                (0..batch).map(|i| seqs[i % seqs.len()].clone()).collect();
+            let outs = batch_rt.run_lstm_batch(plan, net, &gang, &mut NullSink);
+            for (i, (xs, out)) in gang.iter().zip(&outs).enumerate() {
+                let solo = PlanRuntime::new().run_lstm(plan, net, xs, &mut NullSink);
+                assert_bits_eq(
+                    &out.logits,
+                    &solo.logits,
+                    &format!("plan {p} gang {batch} seq {i} logits"),
+                );
+                assert_eq!(
+                    out.layer_hs, solo.layer_hs,
+                    "plan {p} gang {batch} seq {i} hidden states"
+                );
+            }
+        }
+    }
+}
+
 /// The serve engine gangs whatever has arrived, so consecutive rounds see
 /// different batch sizes as requests join and leave. No composition may
 /// perturb a request's numbers: every completion must match a solo run.
